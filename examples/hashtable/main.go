@@ -1,0 +1,83 @@
+// Hashtable: run a small YCSB workload against the RACE hash table
+// twice — once with the RACE baseline configuration (per-thread QP,
+// default doorbells, no throttling or backoff) and once as SMART-HT —
+// and print the throughput, latency, and retry comparison that
+// motivates Figures 7 and 14.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/race"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+const (
+	keys    = 50_000
+	threads = 32
+	theta   = 0.99
+	horizon = 8 * sim.Millisecond
+)
+
+func run(name string, opts core.Options) {
+	cl := cluster.New(cluster.Config{
+		ComputeBlades: 1,
+		MemoryBlades:  2,
+		BladeCapacity: 128 << 20,
+		Seed:          7,
+	})
+	defer cl.Stop()
+
+	// Build and bulk-load the table (extendible hashing with combined
+	// bucket groups, as in RACE).
+	tbl := race.Create(cl.Targets(), race.Config{Groups: 1024, InitialDepth: 3, MaxDepth: 8})
+	for k := uint64(0); k < keys; k++ {
+		tbl.LoadDirect(k, k)
+	}
+	client := race.NewClient(tbl)
+
+	opts.UpdateDelta = 400 * sim.Microsecond // converge within the short run
+	opts.RetryWindow = 250 * sim.Microsecond
+	rt := core.MustNew(cl.Computes[0].NIC, cl.Targets(), threads, opts)
+	defer rt.Stop()
+
+	lat := stats.NewHist()
+	var ops uint64
+	for ti := 0; ti < threads; ti++ {
+		th := rt.Thread(ti)
+		for d := 0; d < rt.Options().Depth; d++ {
+			gen := workload.NewYCSB(rand.New(rand.NewSource(int64(ti*101+d))), keys, theta, workload.WriteHeavy)
+			th.Spawn("worker", func(c *core.Ctx) {
+				for c.Now() < horizon {
+					op, key := gen.Next()
+					start := c.Now()
+					if op == workload.Update {
+						client.Update(c, key, uint64(start))
+					} else {
+						client.Lookup(c, key)
+					}
+					ops++
+					lat.Add(c.Now() - start)
+				}
+			})
+		}
+	}
+	cl.Eng.Run(horizon)
+
+	s := rt.TotalStats()
+	fmt.Printf("%-10s %8.2f MOPS   p50 %-10v p99 %-10v CAS retries/attempts %d/%d\n",
+		name,
+		float64(ops)/float64(horizon)*1e3,
+		lat.Median(), lat.P99(), s.CASFailed, s.CASTotal)
+}
+
+func main() {
+	fmt.Printf("write-heavy YCSB, Zipf θ=%.2f, %d threads x 8 coroutines, %d keys\n\n", theta, threads, keys)
+	run("RACE", core.Baseline(core.PerThreadQP))
+	run("SMART-HT", core.Smart())
+}

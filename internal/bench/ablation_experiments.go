@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/rnic"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Ablations probe the design choices DESIGN.md calls out, beyond the
+// paper's own figures: how many doorbells are actually needed, how the
+// WQE cache size moves the thrashing knee, how sensitive conflict
+// avoidance is to its watermarks, and how the speculative-lookup cache
+// size trades hit rate against bandwidth.
+
+func init() {
+	register(&Experiment{
+		ID:    "abl-db",
+		Title: "Ablation: medium-latency doorbell count vs 96-thread READ throughput",
+		Run: func(w io.Writer, quick bool) {
+			counts := []int{1, 2, 4, 8, 12, 24, 48, 96, 192, 512}
+			if quick {
+				counts = []int{4, 12, 96}
+			}
+			header(w, "Ablation — MOPS vs doorbell registers (96 threads, per-thread QPs, batch 8)")
+			fmt.Fprintf(w, "%10s %10s\n", "doorbells", "MOPS")
+			for _, n := range counts {
+				// Pin the doorbell count by cloning params: the policy
+				// raises medium DBs to min(threads, MaxDoorbells).
+				p := rnic.Default()
+				p.MaxDoorbells = n
+				p.DefaultMediumDBs = minInt(n, p.DefaultMediumDBs)
+				r := RunMicro(MicroConfig{
+					Opts: core.Baseline(core.PerThreadDoorbell), Threads: 96, Batch: 8,
+					Op: rnic.OpRead, Seed: 41, Params: &p,
+				})
+				fmt.Fprintf(w, "%10d %10.1f\n", n, r.MOPS)
+			}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "abl-wqe",
+		Title: "Ablation: WQE cache size vs throughput at 96 threads x 32 OWRs",
+		Run: func(w io.Writer, quick bool) {
+			sizes := []int{256, 512, 1024, 2048, 4096, 8192}
+			if quick {
+				sizes = []int{512, 1024, 4096}
+			}
+			header(w, "Ablation — MOPS and DMA bytes/WR vs WQE cache entries (96x32)")
+			fmt.Fprintf(w, "%10s %10s %12s\n", "entries", "MOPS", "DMA B/WR")
+			for _, n := range sizes {
+				p := rnic.Default()
+				p.WQECacheEntries = n
+				r := RunMicro(MicroConfig{
+					Opts: core.Baseline(core.PerThreadDoorbell), Threads: 96, Batch: 32,
+					Op: rnic.OpRead, Seed: 42, Params: &p,
+				})
+				fmt.Fprintf(w, "%10d %10.1f %12.0f\n", n, r.MOPS, r.DMABytesPerWR)
+			}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "abl-gamma",
+		Title: "Ablation: conflict-avoidance watermarks under 100% skewed updates (96 threads)",
+		Run: func(w io.Writer, quick bool) {
+			marks := []struct{ hi, lo float64 }{
+				{0.25, 0.05}, {0.5, 0.1}, {0.75, 0.25}, {0.9, 0.5},
+			}
+			if quick {
+				marks = marks[:2]
+			}
+			header(w, "Ablation — γ_H/γ_L sensitivity (SMART-HT, update-only, Zipf 0.99)")
+			fmt.Fprintf(w, "%6s %6s %10s %12s\n", "γ_H", "γ_L", "MOPS", "retries/upd")
+			for _, m := range marks {
+				opts := core.Smart()
+				opts.GammaHigh, opts.GammaLow = m.hi, m.lo
+				r := runHTQ(quick, HTConfig{
+					Opts: opts, ThreadsPerBlade: 96,
+					Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 43,
+				})
+				fmt.Fprintf(w, "%6.2f %6.2f %10.2f %12.2f\n", m.hi, m.lo, r.MOPS, r.AvgRetries)
+			}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "abl-t0",
+		Title: "Ablation: backoff unit t0 under 100% skewed updates (96 threads)",
+		Run: func(w io.Writer, quick bool) {
+			units := []sim.Time{800, 1600, 3300, 6600, 13200}
+			if quick {
+				units = []sim.Time{1600, 3300, 13200}
+			}
+			header(w, "Ablation — backoff unit sensitivity (SMART-HT, update-only, Zipf 0.99)")
+			fmt.Fprintf(w, "%10s %10s %12s %12s\n", "t0", "MOPS", "p50", "retries/upd")
+			for _, t0 := range units {
+				opts := core.Smart()
+				opts.BackoffUnit = t0
+				r := runHTQ(quick, HTConfig{
+					Opts: opts, ThreadsPerBlade: 96,
+					Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 44,
+				})
+				fmt.Fprintf(w, "%10v %10.2f %12v %12.2f\n", t0, r.MOPS, r.Median, r.AvgRetries)
+			}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "abl-spec",
+		Title: "Ablation: speculative-lookup cache size (SMART-BT, read-only, 48 threads)",
+		Run: func(w io.Writer, quick bool) {
+			sizes := []int{256, 1024, 4096, 16384, 65536}
+			if quick {
+				sizes = []int{1024, 16384}
+			}
+			header(w, "Ablation — spec cache entries vs MOPS and hit rate")
+			fmt.Fprintf(w, "%10s %10s %10s\n", "entries", "MOPS", "hit rate")
+			for _, n := range sizes {
+				r := runBTQ(quick, BTConfig{
+					Variant: SmartBT, ThreadsPerBlade: 48,
+					Theta: 0.99, Mix: workload.ReadOnly, Keys: htKeys, Seed: 45,
+					SpecCacheEntries: n,
+				})
+				fmt.Fprintf(w, "%10d %10.2f %10.2f\n", n, r.MOPS, r.SpecHit)
+			}
+		},
+	})
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "abl-payload",
+		Title: "Ablation: payload size — the IOPS-bound to bandwidth-bound transition (§3.1)",
+		Run: func(w io.Writer, quick bool) {
+			sizes := []int{8, 16, 32, 64, 128, 256, 512, 1024}
+			if quick {
+				sizes = []int{8, 64, 512}
+			}
+			header(w, "Ablation — READ MOPS and Gbps vs payload (96 threads, per-thread doorbell, batch 8)")
+			fmt.Fprintf(w, "%10s %10s %10s\n", "payload", "MOPS", "Gbps")
+			for _, n := range sizes {
+				r := RunMicro(MicroConfig{
+					Opts: core.Baseline(core.PerThreadDoorbell), Threads: 96, Batch: 8,
+					Op: rnic.OpRead, Payload: n, Seed: 46,
+				})
+				fmt.Fprintf(w, "%10d %10.1f %10.1f\n", n, r.MOPS, r.MOPS*float64(n)*8/1e3)
+			}
+		},
+	})
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

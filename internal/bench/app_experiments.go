@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/workload"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "fig10",
+		Title: "Fig. 10: distributed transaction throughput, FORD+ vs SMART-DTX",
+		Run: func(w io.Writer, quick bool) {
+			for _, wl := range []DTXWorkload{SmallBank, TATP} {
+				header(w, fmt.Sprintf("Fig. 10 — %s: MTPS vs threads", wl))
+				fmt.Fprintf(w, "%8s %12s %12s\n", "threads", "FORD+", "SMART-DTX")
+				for _, thr := range threadGrid(quick) {
+					ford := runDTXQ(quick, DTXConfig{Workload: wl, FORDPlus: true, Threads: thr, Seed: 31})
+					smart := runDTXQ(quick, DTXConfig{Workload: wl, Threads: thr, Seed: 31})
+					fmt.Fprintf(w, "%8d %12.2f %12.2f\n", thr, ford.MTPS, smart.MTPS)
+				}
+			}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig11",
+		Title: "Fig. 11: throughput vs latency for distributed transactions (96x8 tasks)",
+		Run: func(w io.Writer, quick bool) {
+			targets := map[DTXWorkload][]float64{
+				SmallBank: {0.5, 1, 2, 4, 8, 0},
+				TATP:      {1, 2, 4, 8, 16, 0},
+			}
+			if quick {
+				targets = map[DTXWorkload][]float64{
+					SmallBank: {1, 0},
+					TATP:      {4, 0},
+				}
+			}
+			for _, wl := range []DTXWorkload{SmallBank, TATP} {
+				for _, sys := range []struct {
+					name     string
+					fordPlus bool
+				}{{"FORD+", true}, {"SMART-DTX", false}} {
+					header(w, fmt.Sprintf("Fig. 11 — %s, %s: achieved MTPS, p50, p99", wl, sys.name))
+					fmt.Fprintf(w, "%12s %10s %12s %12s\n", "target MTPS", "MTPS", "p50", "p99")
+					for _, tgt := range targets[wl] {
+						r := runDTXQ(quick, DTXConfig{Workload: wl, FORDPlus: sys.fordPlus,
+							Threads: 96, Seed: 32, TargetMTPS: tgt})
+						label := fmt.Sprintf("%.1f", tgt)
+						if tgt == 0 {
+							label = "max"
+						}
+						fmt.Fprintf(w, "%12s %10.2f %12v %12v\n", label, r.MTPS, r.Median, r.P99)
+					}
+				}
+			}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig12",
+		Title: "Fig. 12: B+Tree throughput, Sherman+ vs Sherman+ w/SL vs SMART-BT",
+		Run: func(w io.Writer, quick bool) {
+			variants := []BTVariant{ShermanPlus, ShermanPlusSL, SmartBT}
+			grid := []int{8, 16, 32, 48, 64, 94}
+			if quick {
+				grid = []int{8, 48, 94}
+			}
+			for _, mix := range htMixes {
+				header(w, fmt.Sprintf("Fig. 12(a-c) — %s, 1 server: MOPS vs threads", mix.Name))
+				fmt.Fprintf(w, "%8s", "threads")
+				for _, v := range variants {
+					fmt.Fprintf(w, " %16s", v)
+				}
+				fmt.Fprintln(w)
+				for _, thr := range grid {
+					fmt.Fprintf(w, "%8d", thr)
+					for _, v := range variants {
+						r := runBTQ(quick, BTConfig{Variant: v, ThreadsPerBlade: thr,
+							Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 33})
+						fmt.Fprintf(w, " %16.2f", r.MOPS)
+					}
+					fmt.Fprintln(w)
+				}
+			}
+			servers := []int{1, 2, 4, 6, 8}
+			threads := 94
+			if quick {
+				servers = []int{1, 4}
+				threads = 32
+			}
+			for _, mix := range htMixes {
+				header(w, fmt.Sprintf("Fig. 12(d-f) — %s, %d threads/server: MOPS vs servers", mix.Name, threads))
+				fmt.Fprintf(w, "%8s", "servers")
+				for _, v := range variants {
+					fmt.Fprintf(w, " %16s", v)
+				}
+				fmt.Fprintln(w)
+				for _, s := range servers {
+					fmt.Fprintf(w, "%8d", s)
+					for _, v := range variants {
+						r := runBTQ(quick, BTConfig{Variant: v, Servers: s, ThreadsPerBlade: threads,
+							Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 33})
+						fmt.Fprintf(w, " %16.2f", r.MOPS)
+					}
+					fmt.Fprintln(w)
+				}
+			}
+		},
+	})
+}
+
+// mixByName returns a YCSB mix by its name (CLI convenience).
+func mixByName(name string) (workload.Mix, bool) {
+	for _, m := range []workload.Mix{workload.WriteHeavy, workload.ReadHeavy, workload.ReadOnly, workload.UpdateOnly} {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return workload.Mix{}, false
+}

@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rnic"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	paper := []string{"fig3", "fig4", "fig5", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "tab1"}
+	ablations := []string{"abl-db", "abl-wqe", "abl-gamma", "abl-t0", "abl-spec", "abl-payload"}
+	for _, id := range append(append([]string{}, paper...), ablations...) {
+		if ByID(id) == nil {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if got := len(All()); got != len(paper)+len(ablations) {
+		t.Errorf("registry has %d experiments, want %d", got, len(paper)+len(ablations))
+	}
+	if ByID("nope") != nil {
+		t.Error("unknown ID resolved")
+	}
+}
+
+func TestThreadGrid(t *testing.T) {
+	full, quick := threadGrid(false), threadGrid(true)
+	if len(quick) >= len(full) {
+		t.Fatal("quick grid not smaller")
+	}
+	for _, g := range [][]int{full, quick} {
+		last := 0
+		for _, v := range g {
+			if v <= last {
+				t.Fatalf("grid not increasing: %v", g)
+			}
+			last = v
+		}
+	}
+}
+
+func TestMicroRunsTiny(t *testing.T) {
+	r := RunMicro(MicroConfig{
+		Opts: core.Baseline(core.PerThreadDoorbell), Threads: 4, Batch: 4,
+		Op: rnic.OpRead, Seed: 1,
+		Warmup: 200 * sim.Microsecond, Measure: 500 * sim.Microsecond,
+	})
+	if r.MOPS <= 0 || r.Completed == 0 {
+		t.Fatalf("no throughput measured: %+v", r)
+	}
+	if r.DMABytesPerWR < 80 {
+		t.Fatalf("DMA bytes/WR = %.1f, below model baseline", r.DMABytesPerWR)
+	}
+}
+
+func TestMicroWriteOp(t *testing.T) {
+	r := RunMicro(MicroConfig{
+		Opts: core.Baseline(core.PerThreadDoorbell), Threads: 4, Batch: 4,
+		Op: rnic.OpWrite, Seed: 1,
+		Warmup: 200 * sim.Microsecond, Measure: 500 * sim.Microsecond,
+	})
+	if r.MOPS <= 0 {
+		t.Fatal("write micro produced no throughput")
+	}
+}
+
+func TestMicroDynamicWorkload(t *testing.T) {
+	r := RunMicro(MicroConfig{
+		Opts: core.Baseline(core.PerThreadDoorbell), Threads: 8, Batch: 8,
+		Op: rnic.OpRead, Seed: 2,
+		Warmup: 200 * sim.Microsecond, Measure: 2 * sim.Millisecond,
+		DynamicInterval: 300 * sim.Microsecond, DynamicMin: 2,
+	})
+	if r.MOPS <= 0 {
+		t.Fatal("dynamic micro produced no throughput")
+	}
+}
+
+func TestHTRunsTiny(t *testing.T) {
+	r := RunHT(HTConfig{
+		Opts: core.Smart(), ThreadsPerBlade: 4, Keys: 5_000,
+		Theta: 0.9, Mix: workload.WriteHeavy, Seed: 3,
+		Warmup: 500 * sim.Microsecond, Measure: sim.Millisecond,
+	})
+	if r.Ops == 0 || r.MOPS <= 0 {
+		t.Fatalf("no HT ops: %+v", r)
+	}
+	if r.Median <= 0 || r.P99 < r.Median {
+		t.Fatalf("latency stats inconsistent: p50=%v p99=%v", r.Median, r.P99)
+	}
+	if r.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestHTTargetThrottling(t *testing.T) {
+	free := RunHT(HTConfig{
+		Opts: core.Smart(), ThreadsPerBlade: 16, Keys: 20_000,
+		Theta: 0, Mix: workload.ReadOnly, Seed: 4,
+		Warmup: 500 * sim.Microsecond, Measure: 2 * sim.Millisecond,
+	})
+	capped := RunHT(HTConfig{
+		Opts: core.Smart(), ThreadsPerBlade: 16, Keys: 20_000,
+		Theta: 0, Mix: workload.ReadOnly, Seed: 4,
+		Warmup: 500 * sim.Microsecond, Measure: 2 * sim.Millisecond,
+		TargetMOPS: free.MOPS / 4,
+	})
+	if capped.MOPS > free.MOPS/2 {
+		t.Fatalf("throttle ineffective: free %.2f, capped %.2f", free.MOPS, capped.MOPS)
+	}
+}
+
+func TestBTRunsTiny(t *testing.T) {
+	for _, v := range []BTVariant{ShermanPlus, ShermanPlusSL, SmartBT} {
+		r := RunBT(BTConfig{
+			Variant: v, ThreadsPerBlade: 4, Keys: 5_000,
+			Theta: 0.9, Mix: workload.ReadHeavy, Seed: 5,
+			Warmup: 500 * sim.Microsecond, Measure: sim.Millisecond,
+		})
+		if r.Ops == 0 {
+			t.Fatalf("%v produced no ops", v)
+		}
+		if v == ShermanPlus && r.SpecHit != 0 {
+			t.Fatalf("Sherman+ must not use the spec cache: hit=%v", r.SpecHit)
+		}
+		if v != ShermanPlus && r.SpecHit == 0 {
+			t.Fatalf("%v never hit the spec cache", v)
+		}
+	}
+}
+
+func TestBTVariantStrings(t *testing.T) {
+	if ShermanPlus.String() != "Sherman+" || ShermanPlusSL.String() != "Sherman+ w/SL" ||
+		SmartBT.String() != "SMART-BT" || BTVariant(9).String() != "?" {
+		t.Fatal("variant strings wrong")
+	}
+	if ShermanPlus.Speculative() || !SmartBT.Speculative() {
+		t.Fatal("Speculative() wrong")
+	}
+}
+
+func TestDTXRunsTiny(t *testing.T) {
+	for _, wl := range []DTXWorkload{SmallBank, TATP} {
+		r := RunDTX(DTXConfig{
+			Workload: wl, Threads: 4, Records: 2_000, Seed: 6,
+			Warmup: 500 * sim.Microsecond, Measure: sim.Millisecond,
+		})
+		if r.Txns == 0 {
+			t.Fatalf("%v produced no transactions", wl)
+		}
+		if r.String() == "" {
+			t.Fatal("empty String()")
+		}
+	}
+	if SmallBank.String() != "SmallBank" || TATP.String() != "TATP" {
+		t.Fatal("workload strings wrong")
+	}
+}
+
+func TestExperimentQuickSmoke(t *testing.T) {
+	// Run one cheap experiment end to end and sanity-check the output
+	// format. fig4-quick is the fastest registered experiment.
+	if testing.Short() {
+		t.Skip("runs a real sweep")
+	}
+	var buf bytes.Buffer
+	ByID("fig4").Run(&buf, true)
+	out := buf.String()
+	for _, want := range []string{"Fig. 4a", "Fig. 4b", "threads"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGroupsForScalesWithKeys(t *testing.T) {
+	if groupsFor(1_000) < 64 {
+		t.Fatal("minimum groups not enforced")
+	}
+	if groupsFor(10_000_000) <= groupsFor(100_000) {
+		t.Fatal("groups must grow with key count")
+	}
+}
+
+func TestUpdateShare(t *testing.T) {
+	if got := updateShare(workload.WriteHeavy, 100); got != 50 {
+		t.Fatalf("updateShare = %v", got)
+	}
+	if got := updateShare(workload.ReadOnly, 100); got != 0 {
+		t.Fatalf("updateShare read-only = %v", got)
+	}
+}
+
+func TestMixByName(t *testing.T) {
+	if m, ok := mixByName("read-heavy"); !ok || m.UpdateFrac != 0.05 {
+		t.Fatalf("mixByName = %+v, %v", m, ok)
+	}
+	if _, ok := mixByName("bogus"); ok {
+		t.Fatal("bogus mix resolved")
+	}
+}
+
+func TestScaleAdaptationPreservesExplicit(t *testing.T) {
+	o := core.Smart()
+	o.UpdateDelta = 123
+	o.RetryWindow = 456
+	s := ScaleAdaptation(o)
+	if s.UpdateDelta != 123 || s.RetryWindow != 456 {
+		t.Fatal("explicit settings overridden")
+	}
+	s2 := ScaleAdaptation(core.Smart())
+	if s2.UpdateDelta == 0 || s2.RetryWindow == 0 {
+		t.Fatal("defaults not applied")
+	}
+}

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sherman"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// BTVariant selects the B⁺Tree system under test (Fig. 12).
+type BTVariant int
+
+const (
+	// ShermanPlus is Sherman with the per-cacheline-version fix:
+	// per-thread QP baseline, full-leaf reads.
+	ShermanPlus BTVariant = iota
+	// ShermanPlusSL adds the speculative-lookup cache but keeps the
+	// baseline RDMA configuration.
+	ShermanPlusSL
+	// SmartBT is speculative lookup plus the full SMART framework.
+	SmartBT
+)
+
+func (v BTVariant) String() string {
+	switch v {
+	case ShermanPlus:
+		return "Sherman+"
+	case ShermanPlusSL:
+		return "Sherman+ w/SL"
+	case SmartBT:
+		return "SMART-BT"
+	}
+	return "?"
+}
+
+// Options returns the core configuration for a variant.
+func (v BTVariant) Options() core.Options {
+	if v == SmartBT {
+		return core.Smart()
+	}
+	return core.Baseline(core.PerThreadQP)
+}
+
+// Speculative reports whether the variant uses the lookup cache.
+func (v BTVariant) Speculative() bool { return v != ShermanPlus }
+
+// BTConfig drives the B⁺Tree experiments. Following §6.2.3, every
+// server acts as both a memory blade and a compute blade (94 compute
+// threads max per server).
+type BTConfig struct {
+	Variant         BTVariant
+	Servers         int // blades; each contributes compute + memory
+	ThreadsPerBlade int
+	Keys            uint64
+	Theta           float64
+	Mix             workload.Mix
+	Warmup, Measure sim.Time
+	Seed            int64
+
+	// SpecCacheEntries overrides the speculative cache bound
+	// (0 = sherman.DefaultSpecCacheEntries). Used by the ablation.
+	SpecCacheEntries int
+}
+
+// BTResult is one measured point.
+type BTResult struct {
+	MOPS     float64
+	Median   sim.Time
+	P99      sim.Time
+	Ops      uint64
+	SpecHit  float64 // fast-path hit rate (0 when disabled)
+	VerbMOPS float64
+}
+
+func (r BTResult) String() string {
+	return fmt.Sprintf("%.2f MOPS  p50=%v p99=%v  spec-hit=%.2f", r.MOPS, r.Median, r.P99, r.SpecHit)
+}
+
+// RunBT executes one B⁺Tree experiment point.
+func RunBT(cfg BTConfig) BTResult {
+	if cfg.Servers <= 0 {
+		cfg.Servers = 1
+	}
+	if cfg.ThreadsPerBlade <= 0 {
+		cfg.ThreadsPerBlade = 16
+	}
+	if cfg.Keys == 0 {
+		cfg.Keys = 200_000
+	}
+	if cfg.Mix.Name == "" {
+		cfg.Mix = workload.ReadOnly
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 5 * sim.Millisecond
+	}
+	if cfg.Measure == 0 {
+		cfg.Measure = 4 * sim.Millisecond
+	}
+	opts := ScaleAdaptation(cfg.Variant.Options())
+
+	cl := cluster.New(cluster.Config{
+		ComputeBlades: cfg.Servers,
+		MemoryBlades:  cfg.Servers,
+		BladeCapacity: cfg.Keys*40/uint64(cfg.Servers) + (64 << 20),
+		Seed:          cfg.Seed,
+	})
+	defer cl.Stop()
+	eng := cl.Eng
+
+	keys := make([]uint64, cfg.Keys)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+	}
+	tree := sherman.BulkLoad(cl.Targets(), keys, 0.7)
+
+	horizon := cfg.Warmup + cfg.Measure
+	lat := stats.NewHist()
+	var ops uint64
+	var runtimes []*core.Runtime
+	var clients []*sherman.Client
+
+	for b, comp := range cl.Computes {
+		rt := core.MustNew(comp.NIC, cl.Targets(), cfg.ThreadsPerBlade, opts)
+		runtimes = append(runtimes, rt)
+		client := sherman.NewClient(tree, eng, cfg.Variant.Speculative())
+		if cfg.SpecCacheEntries > 0 {
+			client.SetSpecCacheEntries(cfg.SpecCacheEntries)
+		}
+		clients = append(clients, client)
+		depth := rt.Options().Depth
+		for ti := 0; ti < cfg.ThreadsPerBlade; ti++ {
+			th := rt.Thread(ti)
+			for d := 0; d < depth; d++ {
+				seed := cfg.Seed + int64(b)*999_983 + int64(ti)*1_013 + int64(d)*17 + 1
+				gen := workload.NewYCSB(rand.New(rand.NewSource(seed)), cfg.Keys, cfg.Theta, cfg.Mix)
+				th.Spawn(fmt.Sprintf("bt-b%d-t%d-c%d", b, ti, d), func(c *core.Ctx) {
+					for c.Now() < horizon {
+						op, key := gen.Next()
+						key++ // tree keys are 1-based
+						start := c.Now()
+						if op == workload.Update {
+							client.Update(c, key, uint64(start))
+						} else if cfg.Variant.Speculative() {
+							client.LookupSpec(c, key)
+						} else {
+							client.Lookup(c, key)
+						}
+						if start >= cfg.Warmup && c.Now() <= horizon {
+							ops++
+							lat.Add(c.Now() - start)
+						}
+					}
+				})
+			}
+		}
+	}
+
+	var verbsAtWarmup uint64
+	eng.Schedule(cfg.Warmup, func() {
+		for _, comp := range cl.Computes {
+			verbsAtWarmup += comp.NIC.Snapshot().Completed
+		}
+	})
+	eng.Run(horizon)
+	var verbs, hits, misses uint64
+	for _, rt := range runtimes {
+		rt.Stop()
+	}
+	for _, comp := range cl.Computes {
+		verbs += comp.NIC.Snapshot().Completed
+	}
+	for _, c := range clients {
+		hits += c.SpecHits
+		misses += c.SpecMisses
+	}
+
+	res := BTResult{
+		MOPS:     float64(ops) / (float64(cfg.Measure) / 1e3),
+		Median:   lat.Median(),
+		P99:      lat.P99(),
+		Ops:      ops,
+		VerbMOPS: float64(verbs-verbsAtWarmup) / (float64(cfg.Measure) / 1e3),
+	}
+	if hits+misses > 0 {
+		res.SpecHit = float64(hits) / float64(hits+misses)
+	}
+	return res
+}

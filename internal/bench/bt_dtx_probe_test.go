@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestBTDTXProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	sp := RunBT(BTConfig{Variant: ShermanPlus, ThreadsPerBlade: 48, Theta: 0.99, Mix: workload.ReadOnly, Seed: 3, Keys: 100_000})
+	sl := RunBT(BTConfig{Variant: ShermanPlusSL, ThreadsPerBlade: 48, Theta: 0.99, Mix: workload.ReadOnly, Seed: 3, Keys: 100_000})
+	sm := RunBT(BTConfig{Variant: SmartBT, ThreadsPerBlade: 48, Theta: 0.99, Mix: workload.ReadOnly, Seed: 3, Keys: 100_000})
+	sm94 := RunBT(BTConfig{Variant: SmartBT, ThreadsPerBlade: 94, Theta: 0.99, Mix: workload.ReadOnly, Seed: 3, Keys: 100_000})
+	sp94 := RunBT(BTConfig{Variant: ShermanPlus, ThreadsPerBlade: 94, Theta: 0.99, Mix: workload.ReadOnly, Seed: 3, Keys: 100_000})
+	t.Logf("BT read-only 48thr Sherman+:      %v", sp)
+	t.Logf("BT read-only 48thr Sherman+ w/SL: %v", sl)
+	t.Logf("BT read-only 48thr SMART-BT:      %v", sm)
+	t.Logf("BT read-only 94thr Sherman+:      %v", sp94)
+	t.Logf("BT read-only 94thr SMART-BT:      %v", sm94)
+
+	fordSB24 := RunDTX(DTXConfig{Workload: SmallBank, FORDPlus: true, Threads: 24, Seed: 4})
+	fordSB96 := RunDTX(DTXConfig{Workload: SmallBank, FORDPlus: true, Threads: 96, Seed: 4})
+	smartSB96 := RunDTX(DTXConfig{Workload: SmallBank, Threads: 96, Seed: 4})
+	fordTP96 := RunDTX(DTXConfig{Workload: TATP, FORDPlus: true, Threads: 96, Seed: 4})
+	smartTP96 := RunDTX(DTXConfig{Workload: TATP, Threads: 96, Seed: 4})
+	t.Logf("SmallBank FORD+ 24thr:  %v", fordSB24)
+	t.Logf("SmallBank FORD+ 96thr:  %v", fordSB96)
+	t.Logf("SmallBank SMART 96thr:  %v", smartSB96)
+	t.Logf("TATP FORD+ 96thr:       %v", fordTP96)
+	t.Logf("TATP SMART 96thr:       %v", smartTP96)
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rnic"
+)
+
+// TestMicroCalibration probes the Fig. 3 / Fig. 4 shapes at a few key
+// points. Run with -v to see the measured numbers.
+func TestMicroCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe is slow")
+	}
+	point := func(opts core.Options, threads, batch int) MicroResult {
+		return RunMicro(MicroConfig{
+			Opts: opts, Threads: threads, Batch: batch,
+			Op: rnic.OpRead, Seed: 11,
+		})
+	}
+
+	ptDB96x8 := point(core.Baseline(core.PerThreadDoorbell), 96, 8)
+	ptDB96x32 := point(core.Baseline(core.PerThreadDoorbell), 96, 32)
+	ptQP96x8 := point(core.Baseline(core.PerThreadQP), 96, 8)
+	ptQP8x8 := point(core.Baseline(core.PerThreadQP), 8, 8)
+	ptDB8x8 := point(core.Baseline(core.PerThreadDoorbell), 8, 8)
+	shared96 := point(core.Baseline(core.SharedQP), 96, 8)
+
+	t.Logf("per-thread DB   96thr x  8: %6.1f MOPS, %5.1f B/WR, miss %.2f", ptDB96x8.MOPS, ptDB96x8.DMABytesPerWR, ptDB96x8.WQEMissRate)
+	t.Logf("per-thread DB   96thr x 32: %6.1f MOPS, %5.1f B/WR, miss %.2f", ptDB96x32.MOPS, ptDB96x32.DMABytesPerWR, ptDB96x32.WQEMissRate)
+	t.Logf("per-thread QP   96thr x  8: %6.1f MOPS", ptQP96x8.MOPS)
+	t.Logf("per-thread QP    8thr x  8: %6.1f MOPS", ptQP8x8.MOPS)
+	t.Logf("per-thread DB    8thr x  8: %6.1f MOPS", ptDB8x8.MOPS)
+	t.Logf("shared QP       96thr x  8: %6.1f MOPS", shared96.MOPS)
+
+	// Paper shapes (§3, Fig. 3 and Fig. 4):
+	if ptDB96x8.MOPS < 95 || ptDB96x8.MOPS > 115 {
+		t.Errorf("per-thread DB 96x8 = %.1f MOPS, want ≈110 (hardware ceiling)", ptDB96x8.MOPS)
+	}
+	if r := ptDB96x32.MOPS / ptDB96x8.MOPS; r > 0.65 || r < 0.3 {
+		t.Errorf("96x32/96x8 = %.2f, want ≈0.5 (cache thrashing)", r)
+	}
+	if ptDB96x32.DMABytesPerWR < 1.5*ptDB96x8.DMABytesPerWR {
+		t.Errorf("DMA bytes/WR at 96x32 (%.0f) should be ≈1.9x of 96x8 (%.0f)",
+			ptDB96x32.DMABytesPerWR, ptDB96x8.DMABytesPerWR)
+	}
+	if r := ptDB96x8.MOPS / ptQP96x8.MOPS; r < 2.5 {
+		t.Errorf("per-thread DB should beat per-thread QP by >2.5x at 96 threads, got %.1fx", r)
+	}
+	if d := ptDB8x8.MOPS / ptQP8x8.MOPS; d > 1.3 || d < 0.7 {
+		t.Errorf("at 8 threads both policies should be close, ratio %.2f", d)
+	}
+	if shared96.MOPS > 5 {
+		t.Errorf("shared QP at 96 threads = %.1f MOPS, want convoy collapse (<5)", shared96.MOPS)
+	}
+}

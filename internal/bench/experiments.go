@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Experiment is one reproducible table or figure from the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	// Run executes the experiment, printing the figure's rows/series
+	// to w. quick trades sweep density for runtime (used by the
+	// testing.B wrappers); the full sweep is the CLI default.
+	Run func(w io.Writer, quick bool)
+}
+
+// registry holds all experiments, keyed by ID.
+var registry = map[string]*Experiment{}
+
+func register(e *Experiment) { registry[e.ID] = e }
+
+// ByID returns the experiment with the given ID, or nil.
+func ByID(id string) *Experiment { return registry[id] }
+
+// All returns every experiment in ID order.
+func All() []*Experiment {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*Experiment, len(ids))
+	for i, id := range ids {
+		out[i] = registry[id]
+	}
+	return out
+}
+
+// threadGrid returns the paper's thread-count sweep (or a sparse one).
+func threadGrid(quick bool) []int {
+	if quick {
+		return []int{8, 48, 96}
+	}
+	return []int{4, 8, 16, 24, 32, 48, 64, 80, 96}
+}
+
+// quickWindows shrinks an app config's measurement windows for quick
+// sweeps; adaptation still converges (warmup covers the scaled tuner
+// epoch and ~12 γ windows).
+func quickWindows(quick bool) (warmup, measure sim.Time) {
+	if quick {
+		return 3 * sim.Millisecond, 2 * sim.Millisecond
+	}
+	return 0, 0 // runner defaults (5 ms / 4 ms)
+}
+
+// header prints a figure banner.
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}
+
+// runHTQ, runBTQ, and runDTXQ run an app experiment point with the
+// quick-mode measurement windows applied.
+func runHTQ(quick bool, cfg HTConfig) HTResult {
+	cfg.Warmup, cfg.Measure = quickWindows(quick)
+	return RunHT(cfg)
+}
+
+func runBTQ(quick bool, cfg BTConfig) BTResult {
+	cfg.Warmup, cfg.Measure = quickWindows(quick)
+	return RunBT(cfg)
+}
+
+func runDTXQ(quick bool, cfg DTXConfig) DTXResult {
+	cfg.Warmup, cfg.Measure = quickWindows(quick)
+	return RunDTX(cfg)
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// conflict-avoidance breakdown configs for Fig. 14: all share SMART's
+// allocation + throttling; only the CA mechanisms differ.
+func caConfig(backoff, dyn, coro bool) core.Options {
+	o := core.Smart()
+	o.Backoff, o.DynamicLimit, o.CoroThrottle = backoff, dyn, coro
+	return o
+}
+
+func TestFig14Probe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe is slow")
+	}
+	point := func(opts core.Options, threads int) HTResult {
+		return RunHT(HTConfig{
+			Opts: opts, ThreadsPerBlade: threads,
+			Theta: 0.99, Mix: workload.UpdateOnly, Seed: 5, Keys: 100_000,
+			Measure: 4_000_000,
+		})
+	}
+	noCA := point(caConfig(false, false, false), 96)
+	bo := point(caConfig(true, false, false), 96)
+	dyn := point(caConfig(true, true, false), 96)
+	all := point(caConfig(true, true, true), 96)
+
+	t.Logf("96 thr 100%% updates, no CA:      %v", noCA)
+	t.Logf("96 thr 100%% updates, +Backoff:   %v", bo)
+	t.Logf("96 thr 100%% updates, +DynLimit:  %v", dyn)
+	t.Logf("96 thr 100%% updates, +CoroThrot: %v", all)
+	t.Logf("no-CA retry-free frac: %.3f, all-CA retry-free frac: %.3f",
+		noCA.RetryDist.Frac(0), all.RetryDist.Frac(0))
+
+	if noCA.AvgRetries < 3*all.AvgRetries {
+		t.Errorf("retries: noCA %.2f vs full CA %.2f — want an order-of-magnitude-ish gap",
+			noCA.AvgRetries, all.AvgRetries)
+	}
+	if all.MOPS < noCA.MOPS {
+		t.Errorf("full CA (%.2f) should outperform no CA (%.2f)", all.MOPS, noCA.MOPS)
+	}
+	if bo.AvgRetries > 2.5 {
+		t.Errorf("+Backoff retries = %.2f, paper keeps it below ~1.7", bo.AvgRetries)
+	}
+}
+
+func TestFig7WriteHeavyProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe is slow")
+	}
+	race48 := RunHT(HTConfig{Opts: RACEBaseline(), ThreadsPerBlade: 48,
+		Theta: 0.99, Mix: workload.WriteHeavy, Seed: 5, Keys: 100_000})
+	smart48 := RunHT(HTConfig{Opts: core.Smart(), ThreadsPerBlade: 48,
+		Theta: 0.99, Mix: workload.WriteHeavy, Seed: 5, Keys: 100_000})
+	t.Logf("write-heavy 48thr RACE:  %v", race48)
+	t.Logf("write-heavy 48thr SMART: %v", smart48)
+	if smart48.MOPS < 1.8*race48.MOPS {
+		t.Errorf("SMART %.2f vs RACE %.2f, want ≥1.8x at 48 threads", smart48.MOPS, race48.MOPS)
+	}
+}

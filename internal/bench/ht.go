@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/race"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// HTConfig drives the hash-table experiments (§6.2.1 and §6.3). One
+// run measures one point: a hash table pre-loaded with Keys items,
+// ComputeBlades compute blades each running ThreadsPerBlade threads ×
+// Depth coroutines of the given YCSB mix.
+type HTConfig struct {
+	Opts            core.Options
+	ComputeBlades   int
+	ThreadsPerBlade int
+	MemoryBlades    int // default 2 (as in §6.2.1)
+	Keys            uint64
+	Theta           float64
+	Mix             workload.Mix
+	Warmup          sim.Time
+	Measure         sim.Time
+	Seed            int64
+
+	// TargetMOPS, when positive, throttles execution to approximately
+	// this aggregate operation rate (the Fig. 9 latency-throughput
+	// sweep). Each task spaces its operations to hit the target.
+	TargetMOPS float64
+}
+
+// HTResult is one measured point of a hash-table run.
+type HTResult struct {
+	MOPS   float64 // completed index operations per microsecond
+	Median sim.Time
+	P99    sim.Time
+	// AvgRetries is total unsuccessful CAS attempts during the window
+	// divided by operations completed in it — the unbiased Fig. 14b
+	// metric (per-completed-op averages hide operations still stuck
+	// retrying when the window closes).
+	AvgRetries float64
+	// RetryDist is the per-operation retry-count distribution over
+	// operations that completed inside the window (Fig. 14c).
+	RetryDist *stats.CountDist
+	Ops       uint64
+	VerbMOPS  float64 // completed verbs per microsecond (wasted-IOPS view)
+}
+
+func (r HTResult) String() string {
+	return fmt.Sprintf("%.2f MOPS  p50=%v p99=%v  retries/upd=%.2f",
+		r.MOPS, r.Median, r.P99, r.AvgRetries)
+}
+
+func (cfg *HTConfig) withDefaults() {
+	if cfg.ComputeBlades <= 0 {
+		cfg.ComputeBlades = 1
+	}
+	if cfg.ThreadsPerBlade <= 0 {
+		cfg.ThreadsPerBlade = 16
+	}
+	if cfg.MemoryBlades <= 0 {
+		cfg.MemoryBlades = 2
+	}
+	if cfg.Keys == 0 {
+		cfg.Keys = 200_000
+	}
+	if cfg.Mix.Name == "" {
+		cfg.Mix = workload.ReadOnly
+	}
+	if cfg.Opts.Depth == 0 {
+		cfg.Opts.Depth = 8 // match core's default so task counts are right
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 5 * sim.Millisecond
+	}
+	if cfg.Measure == 0 {
+		cfg.Measure = 4 * sim.Millisecond
+	}
+	cfg.Opts = ScaleAdaptation(cfg.Opts)
+}
+
+// ScaleAdaptation shrinks SMART's adaptive time constants so that both
+// mechanisms converge within the short simulated measurement windows
+// (the paper runs real minutes; we simulate milliseconds). The ratios
+// between the constants — Δ, the 60Δ stable phase, and the γ window —
+// are preserved; see EXPERIMENTS.md for the time-scale substitution.
+func ScaleAdaptation(o core.Options) core.Options {
+	if o.UpdateDelta == 0 {
+		o.UpdateDelta = 400 * sim.Microsecond
+	}
+	if o.RetryWindow == 0 {
+		o.RetryWindow = 250 * sim.Microsecond
+	}
+	return o
+}
+
+// RunHT executes one hash-table experiment point. The table layout and
+// access protocol are RACE's; cfg.Opts selects between the RACE
+// baseline (per-thread QP, no SMART techniques) and SMART-HT
+// (thread-aware allocation + throttling + conflict avoidance), or any
+// intermediate breakdown configuration (Fig. 8).
+func RunHT(cfg HTConfig) HTResult {
+	cfg.withDefaults()
+	cl := cluster.New(cluster.Config{
+		ComputeBlades: cfg.ComputeBlades,
+		MemoryBlades:  cfg.MemoryBlades,
+		BladeCapacity: bladeCapacityFor(cfg.Keys, cfg.MemoryBlades),
+		Seed:          cfg.Seed,
+	})
+	defer cl.Stop()
+	eng := cl.Eng
+
+	tbl := race.Create(cl.Targets(), race.Config{
+		Groups:       groupsFor(cfg.Keys),
+		InitialDepth: 3,
+		MaxDepth:     8,
+	})
+	for k := uint64(0); k < cfg.Keys; k++ {
+		tbl.LoadDirect(k, k)
+	}
+
+	horizon := cfg.Warmup + cfg.Measure
+	lat := stats.NewHist()
+	retry := stats.NewCountDist()
+	var ops uint64
+
+	tasks := cfg.ComputeBlades * cfg.ThreadsPerBlade * maxInt(cfg.Opts.Depth, 1)
+	var interval sim.Time
+	if cfg.TargetMOPS > 0 {
+		// ns between ops per task so the aggregate hits TargetMOPS.
+		interval = sim.Time(float64(tasks) / (cfg.TargetMOPS / 1e3))
+	}
+
+	var runtimes []*core.Runtime
+	for b, comp := range cl.Computes {
+		rt := core.MustNew(comp.NIC, cl.Targets(), cfg.ThreadsPerBlade, cfg.Opts)
+		runtimes = append(runtimes, rt)
+		client := race.NewClient(tbl)
+		depth := rt.Options().Depth
+		for ti := 0; ti < cfg.ThreadsPerBlade; ti++ {
+			th := rt.Thread(ti)
+			for d := 0; d < depth; d++ {
+				seed := cfg.Seed + int64(b)*1_000_003 + int64(ti)*1_009 + int64(d)*13 + 1
+				gen := workload.NewYCSB(rand.New(rand.NewSource(seed)), cfg.Keys, cfg.Theta, cfg.Mix)
+				th.Spawn(fmt.Sprintf("ht-b%d-t%d-c%d", b, ti, d), func(c *core.Ctx) {
+					for c.Now() < horizon {
+						op, key := gen.Next()
+						start := c.Now()
+						var retries int
+						if op == workload.Update {
+							retries = client.Update(c, key, uint64(start))
+						} else {
+							client.Lookup(c, key)
+						}
+						if start >= cfg.Warmup && c.Now() <= horizon {
+							ops++
+							lat.Add(c.Now() - start)
+							if op == workload.Update {
+								retry.Add(retries)
+							}
+						}
+						if interval > 0 {
+							if spent := c.Now() - start; spent < interval {
+								c.Proc().Sleep(interval - spent)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+
+	var failedAtWarmup, verbsAtWarmup uint64
+	eng.Schedule(cfg.Warmup, func() {
+		for _, rt := range runtimes {
+			failedAtWarmup += rt.TotalStats().CASFailed
+		}
+		for _, comp := range cl.Computes {
+			verbsAtWarmup += comp.NIC.Snapshot().Completed
+		}
+	})
+	eng.Run(horizon)
+	var failed, verbs uint64
+	for _, rt := range runtimes {
+		failed += rt.TotalStats().CASFailed
+		rt.Stop()
+	}
+	for _, comp := range cl.Computes {
+		verbs += comp.NIC.Snapshot().Completed
+	}
+
+	res := HTResult{
+		MOPS:      float64(ops) / (float64(cfg.Measure) / 1e3),
+		Median:    lat.Median(),
+		P99:       lat.P99(),
+		RetryDist: retry,
+		Ops:       ops,
+		VerbMOPS:  float64(verbs-verbsAtWarmup) / (float64(cfg.Measure) / 1e3),
+	}
+	if updates := updateShare(cfg.Mix, ops); updates > 0 {
+		res.AvgRetries = float64(failed-failedAtWarmup) / updates
+	}
+	return res
+}
+
+// updateShare estimates how many of the completed ops were updates.
+func updateShare(mix workload.Mix, ops uint64) float64 {
+	return float64(ops) * mix.UpdateFrac
+}
+
+// groupsFor sizes segments so the load fits without splits at a
+// realistic fill factor.
+func groupsFor(keys uint64) int {
+	// 8 initial-depth segments, 14 usable slots per group, ~60% fill.
+	per := keys / 8
+	g := int(float64(per) / (14 * 0.6))
+	if g < 64 {
+		g = 64
+	}
+	return g
+}
+
+func bladeCapacityFor(keys uint64, blades int) uint64 {
+	per := keys * 64 / uint64(blades)
+	if per < (64 << 20) {
+		per = 64 << 20
+	}
+	return per + (64 << 20)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RACEBaseline returns the configuration the paper labels "RACE":
+// per-thread QPs with the driver's default doorbell mapping and no
+// SMART techniques, depth-8 coroutines.
+func RACEBaseline() core.Options {
+	return core.Baseline(core.PerThreadQP)
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestHTCalibration probes the Fig. 5 / Fig. 7 shapes: RACE's update
+// throughput collapses with threads while SMART-HT scales, and
+// conflict avoidance slashes retries. Run with -v for the numbers.
+func TestHTCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe is slow")
+	}
+	point := func(opts core.Options, threads int, mix workload.Mix) HTResult {
+		return RunHT(HTConfig{
+			Opts: opts, ThreadsPerBlade: threads,
+			Theta: 0.99, Mix: mix, Seed: 5, Keys: 100_000,
+		})
+	}
+
+	raceW8 := point(RACEBaseline(), 8, workload.WriteHeavy)
+	raceW48 := point(RACEBaseline(), 48, workload.WriteHeavy)
+	smartW48 := point(core.Smart(), 48, workload.WriteHeavy)
+	raceR48 := point(RACEBaseline(), 48, workload.ReadOnly)
+	smartR48 := point(core.Smart(), 48, workload.ReadOnly)
+	raceU96 := point(RACEBaseline(), 96, workload.UpdateOnly)
+	smartU96 := point(core.Smart(), 96, workload.UpdateOnly)
+
+	t.Logf("write-heavy  RACE   8thr: %v", raceW8)
+	t.Logf("write-heavy  RACE  48thr: %v", raceW48)
+	t.Logf("write-heavy  SMART 48thr: %v", smartW48)
+	t.Logf("read-only    RACE  48thr: %v", raceR48)
+	t.Logf("read-only    SMART 48thr: %v", smartR48)
+	t.Logf("update-only  RACE  96thr: %v", raceU96)
+	t.Logf("update-only  SMART 96thr: %v", smartU96)
+
+	if smartW48.MOPS < 1.5*raceW48.MOPS {
+		t.Errorf("write-heavy at 48 threads: SMART %.2f vs RACE %.2f, want >1.5x", smartW48.MOPS, raceW48.MOPS)
+	}
+	if smartR48.MOPS < 1.3*raceR48.MOPS {
+		t.Errorf("read-only at 48 threads: SMART %.2f vs RACE %.2f, want >1.3x", smartR48.MOPS, raceR48.MOPS)
+	}
+	if raceU96.AvgRetries < 2*smartU96.AvgRetries {
+		t.Errorf("update retries at 96 thr: RACE %.2f vs SMART %.2f, want conflict avoidance to dominate",
+			raceU96.AvgRetries, smartU96.AvgRetries)
+	}
+}

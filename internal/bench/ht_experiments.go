@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// htKeys is the loaded key count for hash-table experiments. The paper
+// loads 100 M items; we scale down (see DESIGN.md) — skew and per-op
+// verb counts, which determine every curve, are unchanged.
+const htKeys = 200_000
+
+var htMixes = []workload.Mix{workload.WriteHeavy, workload.ReadHeavy, workload.ReadOnly}
+
+// fig8Configs is the cumulative technique breakdown.
+func fig8Configs() []struct {
+	name string
+	opts core.Options
+} {
+	thd := core.Baseline(core.PerThreadDoorbell)
+	wrk := thd
+	wrk.WorkReqThrottle = true
+	all := core.Smart()
+	return []struct {
+		name string
+		opts core.Options
+	}{
+		{"RACE", RACEBaseline()},
+		{"+ThdResAlloc", thd},
+		{"+WorkReqThrot", wrk},
+		{"+ConflictAvoid", all},
+	}
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "fig5",
+		Title: "Fig. 5: RACE hash-table update performance vs threads and vs skew",
+		Run: func(w io.Writer, quick bool) {
+			header(w, "Fig. 5a — RACE 100% updates, Zipf 0.99: MOPS / p50 / p99 vs threads (depth 8)")
+			fmt.Fprintf(w, "%8s %10s %12s %12s %12s\n", "threads", "MOPS", "p50", "p99", "retries/upd")
+			for _, thr := range threadGrid(quick) {
+				r := runHTQ(quick, HTConfig{
+					Opts: RACEBaseline(), ThreadsPerBlade: thr,
+					Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 21,
+				})
+				fmt.Fprintf(w, "%8d %10.2f %12v %12v %12.2f\n", thr, r.MOPS, r.Median, r.P99, r.AvgRetries)
+			}
+
+			thetas := []float64{0, 0.5, 0.9, 0.99}
+			if quick {
+				thetas = []float64{0, 0.99}
+			}
+			header(w, "Fig. 5b — RACE 100% updates, 16 threads: latency vs Zipf theta")
+			fmt.Fprintf(w, "%8s %10s %12s %12s\n", "theta", "MOPS", "p50", "p99")
+			for _, th := range thetas {
+				r := runHTQ(quick, HTConfig{
+					Opts: RACEBaseline(), ThreadsPerBlade: 16,
+					Theta: th, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 21,
+				})
+				fmt.Fprintf(w, "%8.2f %10.2f %12v %12v\n", th, r.MOPS, r.Median, r.P99)
+			}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig7",
+		Title: "Fig. 7: hash table throughput, RACE vs SMART-HT (scale-up and scale-out)",
+		Run: func(w io.Writer, quick bool) {
+			for _, mix := range htMixes {
+				header(w, fmt.Sprintf("Fig. 7(a-c) — %s, 1 compute blade: MOPS vs threads", mix.Name))
+				fmt.Fprintf(w, "%8s %12s %12s\n", "threads", "RACE", "SMART-HT")
+				for _, thr := range threadGrid(quick) {
+					race := runHTQ(quick, HTConfig{Opts: RACEBaseline(), ThreadsPerBlade: thr,
+						Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 22})
+					smart := runHTQ(quick, HTConfig{Opts: core.Smart(), ThreadsPerBlade: thr,
+						Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 22})
+					fmt.Fprintf(w, "%8d %12.2f %12.2f\n", thr, race.MOPS, smart.MOPS)
+				}
+			}
+			blades := []int{1, 2, 3, 4, 5, 6}
+			threads := 96
+			if quick {
+				blades = []int{1, 4}
+				threads = 32
+			}
+			for _, mix := range htMixes {
+				header(w, fmt.Sprintf("Fig. 7(d-f) — %s, %d threads/blade: MOPS vs compute blades", mix.Name, threads))
+				fmt.Fprintf(w, "%8s %12s %12s\n", "blades", "RACE", "SMART-HT")
+				for _, b := range blades {
+					race := runHTQ(quick, HTConfig{Opts: RACEBaseline(), ComputeBlades: b, ThreadsPerBlade: threads,
+						Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 22})
+					smart := runHTQ(quick, HTConfig{Opts: core.Smart(), ComputeBlades: b, ThreadsPerBlade: threads,
+						Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 22})
+					fmt.Fprintf(w, "%8d %12.2f %12.2f\n", b, race.MOPS, smart.MOPS)
+				}
+			}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig8",
+		Title: "Fig. 8: performance breakdown of SMART-HT's techniques",
+		Run: func(w io.Writer, quick bool) {
+			configs := fig8Configs()
+			for _, mix := range htMixes {
+				header(w, fmt.Sprintf("Fig. 8 — %s: MOPS vs threads, cumulative techniques", mix.Name))
+				fmt.Fprintf(w, "%8s", "threads")
+				for _, c := range configs {
+					fmt.Fprintf(w, " %16s", c.name)
+				}
+				fmt.Fprintln(w)
+				for _, thr := range threadGrid(quick) {
+					fmt.Fprintf(w, "%8d", thr)
+					for _, c := range configs {
+						r := runHTQ(quick, HTConfig{Opts: c.opts, ThreadsPerBlade: thr,
+							Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 23})
+						fmt.Fprintf(w, " %16.2f", r.MOPS)
+					}
+					fmt.Fprintln(w)
+				}
+			}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig9",
+		Title: "Fig. 9: throughput vs latency, read-only hash table, 96 threads",
+		Run: func(w io.Writer, quick bool) {
+			targets := []float64{2, 4, 8, 12, 16, 20, 0} // 0 = unthrottled
+			if quick {
+				targets = []float64{4, 12, 0}
+			}
+			for _, sys := range []struct {
+				name string
+				opts core.Options
+			}{{"RACE", RACEBaseline()}, {"SMART-HT", core.Smart()}} {
+				header(w, fmt.Sprintf("Fig. 9 — %s: achieved MOPS, p50, p99 per target", sys.name))
+				fmt.Fprintf(w, "%12s %10s %12s %12s\n", "target MOPS", "MOPS", "p50", "p99")
+				for _, tgt := range targets {
+					r := runHTQ(quick, HTConfig{Opts: sys.opts, ThreadsPerBlade: 96,
+						Theta: 0.99, Mix: workload.ReadOnly, Keys: htKeys, Seed: 24,
+						TargetMOPS: tgt})
+					label := fmt.Sprintf("%.0f", tgt)
+					if tgt == 0 {
+						label = "max"
+					}
+					fmt.Fprintf(w, "%12s %10.2f %12v %12v\n", label, r.MOPS, r.Median, r.P99)
+				}
+			}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig14",
+		Title: "Fig. 14: conflict avoidance breakdown (100% updates, Zipf 0.99)",
+		Run: func(w io.Writer, quick bool) {
+			noCA := core.Smart()
+			noCA.Backoff, noCA.DynamicLimit, noCA.CoroThrottle = false, false, false
+			bo := core.Smart()
+			bo.DynamicLimit, bo.CoroThrottle = false, false
+			dyn := core.Smart()
+			dyn.CoroThrottle = false
+			configs := []struct {
+				name string
+				opts core.Options
+			}{
+				{"w/o CA", noCA},
+				{"+Backoff", bo},
+				{"+DynLimit", dyn},
+				{"+CoroThrot", core.Smart()},
+			}
+			header(w, "Fig. 14a/b — MOPS and avg retries/update vs threads")
+			fmt.Fprintf(w, "%8s", "threads")
+			for _, c := range configs {
+				fmt.Fprintf(w, " %11s %8s", c.name, "retries")
+			}
+			fmt.Fprintln(w)
+			var last96 []HTResult
+			for _, thr := range threadGrid(quick) {
+				fmt.Fprintf(w, "%8d", thr)
+				var row []HTResult
+				for _, c := range configs {
+					r := runHTQ(quick, HTConfig{Opts: c.opts, ThreadsPerBlade: thr,
+						Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 25})
+					row = append(row, r)
+					fmt.Fprintf(w, " %11.2f %8.2f", r.MOPS, r.AvgRetries)
+				}
+				fmt.Fprintln(w)
+				if thr == 96 {
+					last96 = row
+				}
+			}
+			if last96 != nil {
+				header(w, "Fig. 14c — retry-count distribution at 96 threads (completed ops)")
+				for i, c := range configs {
+					d := last96[i].RetryDist
+					fmt.Fprintf(w, "%12s: 0:%.1f%% 1:%.1f%% 2:%.1f%% >=3:%.1f%%\n", c.name,
+						100*d.Frac(0), 100*d.Frac(1), 100*d.Frac(2), 100*d.FracAtLeast(3))
+				}
+			}
+		},
+	})
+}

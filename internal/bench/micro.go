@@ -1,0 +1,157 @@
+// Package bench contains one experiment runner per table and figure of
+// the paper, plus the shared machinery (workload drivers, measurement
+// windows, result formatting). Each runner prints the same rows or
+// series the paper reports; bench_test.go and cmd/smartbench expose
+// them as testing.B benchmarks and a CLI respectively.
+package bench
+
+import (
+	"math/rand"
+
+	"repro/internal/blade"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/rnic"
+	"repro/internal/sim"
+)
+
+// MicroConfig drives the §3.1 bench tool: every thread repeatedly
+// posts Batch work requests to uniformly random addresses in a large
+// region and waits for all of them.
+type MicroConfig struct {
+	Opts    core.Options
+	Threads int
+	Batch   int         // work requests per post round (the OWR depth)
+	Op      rnic.OpKind // OpRead or OpWrite
+	Payload int         // bytes per request (8 in the paper's figures)
+	Blades  int         // memory blades (default 1)
+	Region  uint64      // bytes of target region per blade (default 16 MiB)
+	Warmup  sim.Time    // excluded from measurement (default 1 ms)
+	Measure sim.Time    // measurement window (default 3 ms)
+	Seed    int64
+	Params  *rnic.Params
+
+	// Dynamic workload (Table 1): when DynamicInterval > 0, the number
+	// of active threads is re-drawn uniformly from
+	// [DynamicMin, Threads] every interval.
+	DynamicInterval sim.Time
+	DynamicMin      int
+}
+
+// MicroResult is one measured point.
+type MicroResult struct {
+	MOPS          float64 // completed work requests per microsecond
+	DMABytesPerWR float64 // host DRAM traffic per work request (Fig. 4b)
+	WQEMissRate   float64
+	Completed     uint64
+}
+
+// RunMicro executes the micro-benchmark and returns the measured
+// point.
+func RunMicro(cfg MicroConfig) MicroResult {
+	if cfg.Blades <= 0 {
+		cfg.Blades = 1
+	}
+	if cfg.Region == 0 {
+		cfg.Region = 16 << 20
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = sim.Millisecond
+	}
+	if cfg.Measure == 0 {
+		cfg.Measure = 3 * sim.Millisecond
+	}
+	if cfg.Payload == 0 {
+		cfg.Payload = 8
+	}
+	cl := cluster.New(cluster.Config{
+		ComputeBlades: 1,
+		MemoryBlades:  cfg.Blades,
+		BladeCapacity: cfg.Region + (1 << 16),
+		Seed:          cfg.Seed,
+		Params:        cfg.Params,
+	})
+	defer cl.Stop()
+	eng := cl.Eng
+
+	regions := make([]blade.Addr, cfg.Blades)
+	for i, m := range cl.Memories {
+		regions[i] = m.Mem.Alloc(cfg.Region)
+	}
+
+	rt := core.MustNew(cl.Computes[0].NIC, cl.Targets(), cfg.Threads, cfg.Opts)
+	defer rt.Stop()
+
+	horizon := cfg.Warmup + cfg.Measure
+	nic := cl.Computes[0].NIC
+
+	// Per-thread activity gates for the dynamic workload.
+	active := make([]bool, cfg.Threads)
+	gates := make([]*sim.WaitQueue, cfg.Threads)
+	for i := range gates {
+		active[i] = true
+		gates[i] = sim.NewWaitQueue(eng)
+	}
+	if cfg.DynamicInterval > 0 {
+		if cfg.DynamicMin <= 0 {
+			cfg.DynamicMin = 1
+		}
+		ctlRng := rand.New(rand.NewSource(cfg.Seed + 7777))
+		eng.Go("dyn-controller", func(p *sim.Proc) {
+			for p.Now() < horizon {
+				p.Sleep(cfg.DynamicInterval)
+				n := cfg.DynamicMin + ctlRng.Intn(cfg.Threads-cfg.DynamicMin+1)
+				for i := range active {
+					wasActive := active[i]
+					active[i] = i < n
+					if active[i] && !wasActive {
+						gates[i].Broadcast()
+					}
+				}
+			}
+		})
+	}
+
+	slots := cfg.Region / uint64(cfg.Payload)
+	for i := 0; i < cfg.Threads; i++ {
+		i := i
+		th := rt.Thread(i)
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*1009 + 1))
+		th.Spawn("bench", func(c *core.Ctx) {
+			buf := make([]byte, cfg.Payload)
+			for c.Now() < horizon {
+				for !active[i] && c.Now() < horizon {
+					gates[i].Wait(c.Proc())
+				}
+				for k := 0; k < cfg.Batch; k++ {
+					b := rng.Intn(cfg.Blades)
+					off := uint64(rng.Int63n(int64(slots))) * uint64(cfg.Payload)
+					addr := regions[b].Add(off)
+					switch cfg.Op {
+					case rnic.OpWrite:
+						c.Write(addr, buf)
+					default:
+						c.Read(addr, buf)
+					}
+				}
+				c.PostSend()
+				c.Sync()
+			}
+		})
+	}
+
+	var s0 rnic.Counters
+	eng.Schedule(cfg.Warmup, func() { s0 = nic.Snapshot() })
+	eng.Run(horizon)
+	s1 := nic.Snapshot()
+	rt.Stop()
+
+	completed := s1.Completed - s0.Completed
+	res := MicroResult{Completed: completed}
+	res.MOPS = float64(completed) / (float64(cfg.Measure) / 1e3)
+	if completed > 0 {
+		res.DMABytesPerWR = float64(s1.DMABytes-s0.DMABytes) / float64(completed)
+		res.WQEMissRate = float64(s1.WQEMisses-s0.WQEMisses) / float64(completed)
+	}
+	return res
+}

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/rnic"
+	"repro/internal/sim"
+)
+
+// fig3Policies are the four QP-allocation contenders of §3.1.
+var fig3Policies = []struct {
+	name string
+	opts core.Options
+}{
+	{"shared-qp", core.Baseline(core.SharedQP)},
+	{"multiplexed-qp(q=4)", core.Baseline(core.MultiplexedQP)},
+	{"per-thread-qp", core.Baseline(core.PerThreadQP)},
+	{"per-thread-doorbell", core.Baseline(core.PerThreadDoorbell)},
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "fig3",
+		Title: "Fig. 3: throughput of 8-byte READ/WRITE under different QP allocation policies (depth 8)",
+		Run: func(w io.Writer, quick bool) {
+			for _, op := range []rnic.OpKind{rnic.OpRead, rnic.OpWrite} {
+				header(w, fmt.Sprintf("Fig. 3 — 8-byte %s, MOPS vs threads", op))
+				fmt.Fprintf(w, "%8s", "threads")
+				for _, p := range fig3Policies {
+					fmt.Fprintf(w, " %22s", p.name)
+				}
+				fmt.Fprintln(w)
+				for _, thr := range threadGrid(quick) {
+					fmt.Fprintf(w, "%8d", thr)
+					for _, p := range fig3Policies {
+						r := RunMicro(MicroConfig{
+							Opts: p.opts, Threads: thr, Batch: 8, Op: op, Seed: 11,
+						})
+						fmt.Fprintf(w, " %22.1f", r.MOPS)
+					}
+					fmt.Fprintln(w)
+				}
+			}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig4",
+		Title: "Fig. 4: throughput and DRAM traffic vs thread count x outstanding work requests",
+		Run: func(w io.Writer, quick bool) {
+			threads := []int{16, 36, 64, 96}
+			owrs := []int{1, 2, 4, 8, 16, 32, 64}
+			if quick {
+				threads = []int{36, 96}
+				owrs = []int{2, 8, 32}
+			}
+			run := func(thr, owr int) MicroResult {
+				return RunMicro(MicroConfig{
+					Opts:    core.Baseline(core.PerThreadDoorbell),
+					Threads: thr, Batch: owr, Op: rnic.OpRead, Seed: 12,
+				})
+			}
+			header(w, "Fig. 4a — READ MOPS (rows: threads, cols: OWRs/thread)")
+			fmt.Fprintf(w, "%8s", "threads")
+			for _, o := range owrs {
+				fmt.Fprintf(w, " %8d", o)
+			}
+			fmt.Fprintln(w)
+			results := map[[2]int]MicroResult{}
+			for _, t := range threads {
+				fmt.Fprintf(w, "%8d", t)
+				for _, o := range owrs {
+					r := run(t, o)
+					results[[2]int{t, o}] = r
+					fmt.Fprintf(w, " %8.1f", r.MOPS)
+				}
+				fmt.Fprintln(w)
+			}
+			header(w, "Fig. 4b — DRAM bytes per work request")
+			fmt.Fprintf(w, "%8s", "threads")
+			for _, o := range owrs {
+				fmt.Fprintf(w, " %8d", o)
+			}
+			fmt.Fprintln(w)
+			for _, t := range threads {
+				fmt.Fprintf(w, "%8d", t)
+				for _, o := range owrs {
+					fmt.Fprintf(w, " %8.0f", results[[2]int{t, o}].DMABytesPerWR)
+				}
+				fmt.Fprintln(w)
+			}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig13",
+		Title: "Fig. 13: SMART's allocation and throttling techniques in the micro-benchmark",
+		Run: func(w io.Writer, quick bool) {
+			throttled := core.Baseline(core.PerThreadDoorbell)
+			throttled.WorkReqThrottle = true
+			throttled.UpdateDelta = 400 * sim.Microsecond
+			configs := []struct {
+				name string
+				opts core.Options
+			}{
+				{"per-thread-qp", core.Baseline(core.PerThreadQP)},
+				{"per-thread-context", core.Baseline(core.PerThreadContext)},
+				{"+ThdResAlloc", core.Baseline(core.PerThreadDoorbell)},
+				{"+WorkReqThrot", throttled},
+			}
+			header(w, "Fig. 13a — 8-byte READ MOPS vs threads (batch 16)")
+			fmt.Fprintf(w, "%8s", "threads")
+			for _, c := range configs {
+				fmt.Fprintf(w, " %20s", c.name)
+			}
+			fmt.Fprintln(w)
+			for _, thr := range threadGrid(quick) {
+				fmt.Fprintf(w, "%8d", thr)
+				for _, c := range configs {
+					r := RunMicro(MicroConfig{Opts: c.opts, Threads: thr, Batch: 16, Op: rnic.OpRead, Seed: 13})
+					fmt.Fprintf(w, " %20.1f", r.MOPS)
+				}
+				fmt.Fprintln(w)
+			}
+
+			batches := []int{1, 2, 4, 8, 16, 32, 64}
+			if quick {
+				batches = []int{4, 16, 64}
+			}
+			header(w, "Fig. 13b — 8-byte READ MOPS vs work request batch size (96 threads)")
+			fmt.Fprintf(w, "%8s", "batch")
+			for _, c := range configs {
+				fmt.Fprintf(w, " %20s", c.name)
+			}
+			fmt.Fprintln(w)
+			for _, b := range batches {
+				fmt.Fprintf(w, "%8d", b)
+				for _, c := range configs {
+					r := RunMicro(MicroConfig{Opts: c.opts, Threads: 96, Batch: b, Op: rnic.OpRead, Seed: 13})
+					fmt.Fprintf(w, " %20.1f", r.MOPS)
+				}
+				fmt.Fprintln(w)
+			}
+		},
+	})
+
+	register(&Experiment{
+		ID:    "tab1",
+		Title: "Table 1: 8-byte READ MOPS under dynamically changing thread counts (batch 64)",
+		Run: func(w io.Writer, quick bool) {
+			// Time-scale substitution: the paper's epoch is 512 ms
+			// against changing intervals of 32–2048 ms; we scale both
+			// by 1/16 (epoch ≈ 16 ms within reach of simulation) and
+			// keep the interval/epoch ratios 1/16 … 4.
+			intervals := []sim.Time{
+				2 * sim.Millisecond, 4 * sim.Millisecond, 8 * sim.Millisecond,
+				16 * sim.Millisecond, 32 * sim.Millisecond,
+				64 * sim.Millisecond, 128 * sim.Millisecond,
+			}
+			paperMS := []int{32, 64, 128, 256, 512, 1024, 2048}
+			if quick {
+				intervals = []sim.Time{4 * sim.Millisecond, 16 * sim.Millisecond}
+				paperMS = []int{64, 256}
+			}
+			throttled := core.Baseline(core.PerThreadDoorbell)
+			throttled.WorkReqThrottle = true
+			throttled.UpdateDelta = 250 * sim.Microsecond // epoch ≈ 16.25 ms
+			plain := core.Baseline(core.PerThreadDoorbell)
+
+			header(w, "Table 1 — MOPS vs changing interval (paper-equivalent ms)")
+			fmt.Fprintf(w, "%22s", "interval (paper ms)")
+			for _, ms := range paperMS {
+				fmt.Fprintf(w, " %8d", ms)
+			}
+			fmt.Fprintln(w)
+			for _, row := range []struct {
+				name string
+				opts core.Options
+			}{
+				{"w/o WorkReqThrot", plain},
+				{"w/  WorkReqThrot", throttled},
+			} {
+				fmt.Fprintf(w, "%22s", row.name)
+				for _, iv := range intervals {
+					measure := 8 * iv
+					if quick {
+						measure = 4 * iv
+					}
+					if measure < 16*sim.Millisecond {
+						measure = 16 * sim.Millisecond
+					}
+					r := RunMicro(MicroConfig{
+						Opts: row.opts, Threads: 96, Batch: 64, Op: rnic.OpRead,
+						Seed: 14, Measure: measure, Warmup: 2 * sim.Millisecond,
+						DynamicInterval: iv, DynamicMin: 36,
+					})
+					fmt.Fprintf(w, " %8.1f", r.MOPS)
+				}
+				fmt.Fprintln(w)
+			}
+		},
+	})
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"repro/internal/blade"
+	"repro/internal/sim"
+	"repro/internal/verbs"
+)
+
+// Ctx is the per-coroutine handle exposing SMART's programming
+// interface (§5.1): read/write/cas/faa buffer work requests,
+// post_send posts them through the throttler, sync suspends the
+// coroutine until everything posted completes, and backoff_cas_sync
+// adds conflict avoidance. BeginOp/EndOp bracket one application
+// operation for the coroutine-depth throttle and the statistics.
+type Ctx struct {
+	T    *Thread
+	proc *sim.Proc
+
+	buf     []*verbs.WR
+	pending int
+	syncing bool
+
+	inOp        bool
+	opRetries   int
+	casAttempts int // consecutive failed CAS, drives the backoff exponent
+}
+
+// Proc returns the coroutine's simulated process, for callers that
+// need to sleep or block directly.
+func (c *Ctx) Proc() *sim.Proc { return c.proc }
+
+// Now returns the current virtual time.
+func (c *Ctx) Now() sim.Time { return c.proc.Now() }
+
+// Read buffers a READ work request fetching len(buf) bytes from addr.
+func (c *Ctx) Read(addr blade.Addr, buf []byte) *verbs.WR {
+	wr := verbs.Read(addr, buf)
+	c.buf = append(c.buf, wr)
+	return wr
+}
+
+// Write buffers a WRITE work request storing src at addr.
+func (c *Ctx) Write(addr blade.Addr, src []byte) *verbs.WR {
+	wr := verbs.Write(addr, src)
+	c.buf = append(c.buf, wr)
+	return wr
+}
+
+// CAS buffers an 8-byte compare-and-swap work request.
+func (c *Ctx) CAS(addr blade.Addr, compare, swap uint64) *verbs.WR {
+	wr := verbs.CAS(addr, compare, swap)
+	c.buf = append(c.buf, wr)
+	return wr
+}
+
+// FAA buffers an 8-byte fetch-and-add work request.
+func (c *Ctx) FAA(addr blade.Addr, add uint64) *verbs.WR {
+	wr := verbs.FAA(addr, add)
+	c.buf = append(c.buf, wr)
+	return wr
+}
+
+// PostSend posts every buffered work request. With work request
+// throttling enabled this is Algorithm 1's SMARTPOSTSEND: each WR
+// consumes a credit before reaching the card, and the coroutine stalls
+// while the thread's credits are depleted (batches larger than C_max
+// slide through as a window). Completions replenish credits and are
+// routed back to this coroutine.
+func (c *Ctx) PostSend() {
+	wrs := c.buf
+	c.buf = nil
+	t := c.T
+	for _, wr := range wrs {
+		wr.OnComplete = c.onComplete
+		c.pending++
+		if t.credits != nil {
+			t.credits.Acquire(c.proc, 1)
+		}
+		qp := t.qps[t.rt.bladeIndex(wr.Remote.Blade)]
+		qp.PostSend(c.proc, wr)
+	}
+}
+
+// onComplete runs in engine context when one of this coroutine's WRs
+// completes: it replenishes the thread's credits (SMARTPOLLCQ) and
+// wakes the coroutine once a pending Sync is satisfied.
+func (c *Ctx) onComplete(*verbs.WR) {
+	t := c.T
+	t.wrCompleted++
+	t.Stats.WRs++
+	if t.credits != nil {
+		t.credits.Release(1)
+	}
+	c.pending--
+	if c.syncing && c.pending == 0 {
+		c.syncing = false
+		c.proc.Wake()
+	}
+}
+
+// Sync suspends the coroutine until all previously posted work
+// requests have completed.
+func (c *Ctx) Sync() {
+	if c.pending == 0 {
+		return
+	}
+	c.syncing = true
+	c.proc.Suspend()
+}
+
+// ReadSync is Read + PostSend + Sync.
+func (c *Ctx) ReadSync(addr blade.Addr, buf []byte) {
+	c.Read(addr, buf)
+	c.PostSend()
+	c.Sync()
+}
+
+// WriteSync is Write + PostSend + Sync.
+func (c *Ctx) WriteSync(addr blade.Addr, src []byte) {
+	c.Write(addr, src)
+	c.PostSend()
+	c.Sync()
+}
+
+// CASSync performs one CAS and waits for it, recording retry
+// statistics but never delaying — the building block shared with
+// BackoffCASSync.
+func (c *Ctx) CASSync(addr blade.Addr, compare, swap uint64) (old uint64, swapped bool) {
+	wr := c.CAS(addr, compare, swap)
+	c.PostSend()
+	c.Sync()
+	t := c.T
+	t.Stats.CASTotal++
+	if wr.Succeeded() {
+		c.casAttempts = 0
+		return wr.Result, true
+	}
+	t.winRetries++
+	t.Stats.CASFailed++
+	if c.inOp {
+		c.opRetries++
+	}
+	return wr.Result, false
+}
+
+// FAASync performs one FAA and waits for it.
+func (c *Ctx) FAASync(addr blade.Addr, add uint64) (old uint64) {
+	wr := c.FAA(addr, add)
+	c.PostSend()
+	c.Sync()
+	return wr.Result
+}
+
+// BackoffCASSync is the conflict-avoidance CAS (§4.3): semantically
+// cas + sync, but after an unsuccessful attempt the coroutine delays
+// by the truncated randomized exponential backoff
+//
+//	t = min(t0 * 2^i, t_max) + Rand(t0)
+//
+// before returning, so the caller can refresh its expected value and
+// retry. t_max is the thread's (static or dynamically adapted) limit.
+func (c *Ctx) BackoffCASSync(addr blade.Addr, compare, swap uint64) (old uint64, swapped bool) {
+	old, swapped = c.CASSync(addr, compare, swap)
+	if swapped {
+		return old, true
+	}
+	t := c.T
+	if t.rt.opts.Backoff {
+		t0 := t.rt.opts.BackoffUnit
+		d := t0 << uint(c.casAttempts)
+		if d > t.tmax || d <= 0 {
+			d = t.tmax
+		}
+		d += sim.Time(t.rt.eng.Rand().Int63n(int64(t0)))
+		c.casAttempts++
+		// A backing-off coroutine is not executing: it returns its
+		// operation credit for the duration of the delay so the
+		// thread's other coroutines can run conflict-free operations,
+		// and re-acquires it before retrying.
+		holdsCredit := c.inOp && t.coroCredits != nil
+		if holdsCredit {
+			t.coroCredits.Release(1)
+		}
+		c.proc.Sleep(d)
+		if holdsCredit {
+			t.coroCredits.Acquire(c.proc, 1)
+		}
+	} else {
+		c.casAttempts++
+	}
+	return old, false
+}
+
+// BeginOp marks the start of one application operation. Under
+// coroutine throttling it acquires one of the thread's c_max operation
+// credits, so at most c_max of the thread's coroutines make progress
+// concurrently under contention.
+func (c *Ctx) BeginOp() {
+	if c.T.coroCredits != nil {
+		c.T.coroCredits.Acquire(c.proc, 1)
+	}
+	c.inOp = true
+	c.opRetries = 0
+	c.casAttempts = 0
+}
+
+// EndOp closes the operation bracket, releasing the operation credit
+// and returning how many unsuccessful CAS retries the operation
+// performed.
+func (c *Ctx) EndOp() (retries int) {
+	if c.T.coroCredits != nil {
+		c.T.coroCredits.Release(1)
+	}
+	c.inOp = false
+	c.T.Stats.Ops++
+	c.T.winOps++
+	return c.opRetries
+}

@@ -1,0 +1,170 @@
+// Package core implements SMART, the paper's contribution: an RDMA
+// programming framework that scales IOPS-bound disaggregated
+// applications up to large thread counts by hiding three low-level
+// techniques behind a verbs-like coroutine API:
+//
+//  1. Thread-aware resource allocation (§4.1) — every thread gets its
+//     own queue pairs, completion queue, and doorbell register, while
+//     the device context, protection domain, and memory regions stay
+//     shared. The framework exploits the driver's deterministic
+//     round-robin QP→doorbell mapping by ordering QP creation.
+//  2. Adaptive work request throttling (§4.2) — credit-based limiting
+//     of outstanding work requests per thread (Algorithm 1), with the
+//     ceiling C_max re-tuned every epoch from measured completions.
+//  3. Conflict avoidance (§4.3) — truncated randomized exponential
+//     backoff for failed CAS with a dynamic ceiling t_max, plus
+//     credit-based coroutine-depth throttling c_max, both driven by
+//     the observed retry rate.
+//
+// The same Runtime also implements the baseline QP-allocation policies
+// the paper compares against (shared QP, multiplexed QP, per-thread
+// QP, per-thread device context), so every figure's contenders share
+// one code path and differ only in Options.
+package core
+
+import "repro/internal/sim"
+
+// Policy selects how queue pairs (and implicitly doorbell registers)
+// are allocated to threads — the four §3.1 contenders plus the
+// per-thread device-context variant from Fig. 13.
+type Policy int
+
+const (
+	// SharedQP gives all threads a single QP per memory blade.
+	SharedQP Policy = iota
+	// MultiplexedQP shares each QP among MultiplexQ threads
+	// (FaRM/LITE-style connection multiplexing).
+	MultiplexedQP
+	// PerThreadQP gives each thread its own QPs but leaves the driver's
+	// default doorbell mapping, so threads implicitly share the 12
+	// medium-latency doorbells.
+	PerThreadQP
+	// PerThreadContext opens a device context per thread (X-RDMA
+	// style): private doorbells, but MTT/MPT cache thrashing from
+	// per-context memory registration.
+	PerThreadContext
+	// PerThreadDoorbell is SMART's thread-aware allocation: shared
+	// context, private QPs, CQ, and doorbell per thread.
+	PerThreadDoorbell
+)
+
+func (p Policy) String() string {
+	switch p {
+	case SharedQP:
+		return "shared-qp"
+	case MultiplexedQP:
+		return "multiplexed-qp"
+	case PerThreadQP:
+		return "per-thread-qp"
+	case PerThreadContext:
+		return "per-thread-context"
+	case PerThreadDoorbell:
+		return "per-thread-doorbell"
+	}
+	return "?"
+}
+
+// Options configures a Runtime. The zero value is a plain per-thread-QP
+// baseline; use Smart for the full framework.
+type Options struct {
+	Policy     Policy
+	MultiplexQ int // threads per QP under MultiplexedQP (default 4)
+
+	// Depth is the number of coroutines spawned per thread by the
+	// applications (the concurrency depth). Default 8, as in §6.1.
+	Depth int
+
+	// --- Adaptive work request throttling (§4.2) ---
+
+	WorkReqThrottle bool
+	CMax            int      // initial C_max (default 8)
+	CMaxCandidates  []int    // Algorithm 1's target_list (default 4,6,8,10,12)
+	UpdateDelta     sim.Time // Δ, the per-candidate measuring window
+	StableEpochs    int      // stable phase length in units of Δ (default 60)
+	AdaptCMax       *bool    // run the epoch tuner (default: WorkReqThrottle)
+
+	// --- Conflict avoidance (§4.3) ---
+
+	Backoff      bool     // truncated exponential backoff on CAS failure
+	DynamicLimit bool     // adapt t_max from the retry rate
+	CoroThrottle bool     // adapt the coroutine credit ceiling c_max
+	BackoffUnit  sim.Time // t0 (default ≈ one RDMA round trip)
+	BackoffMax   sim.Time // t_M, the largest allowed t_max (default 1024*t0)
+	StaticLimit  sim.Time // t_max when DynamicLimit is off (default t_M/4)
+	RetryWindow  sim.Time // γ sampling period (default 1 ms)
+	GammaHigh    float64  // γ_H (default 0.5)
+	GammaLow     float64  // γ_L (default 0.1)
+}
+
+// Baseline returns options for a pure QP-allocation baseline with all
+// SMART techniques disabled.
+func Baseline(p Policy) Options { return Options{Policy: p} }
+
+// Smart returns the full framework configuration: thread-aware
+// allocation plus both adaptive mechanisms.
+func Smart() Options {
+	return Options{
+		Policy:          PerThreadDoorbell,
+		WorkReqThrottle: true,
+		Backoff:         true,
+		DynamicLimit:    true,
+		CoroThrottle:    true,
+	}
+}
+
+// withDefaults fills unset fields in place.
+func (o *Options) withDefaults() {
+	if o.MultiplexQ <= 0 {
+		o.MultiplexQ = 4
+	}
+	if o.Depth <= 0 {
+		o.Depth = 8
+	}
+	if o.CMax <= 0 {
+		o.CMax = 8
+	}
+	if len(o.CMaxCandidates) == 0 {
+		o.CMaxCandidates = []int{4, 6, 8, 10, 12}
+	}
+	if o.UpdateDelta <= 0 {
+		o.UpdateDelta = 8 * sim.Millisecond
+	}
+	if o.StableEpochs <= 0 {
+		o.StableEpochs = 60
+	}
+	if o.AdaptCMax == nil {
+		v := o.WorkReqThrottle
+		o.AdaptCMax = &v
+	}
+	if o.BackoffUnit <= 0 {
+		// t0 = 4096 CPU cycles in the paper, "close to the time of an
+		// RDMA roundtrip"; our simulated round trip is ≈3.3 µs.
+		o.BackoffUnit = 3300
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 1024 * o.BackoffUnit
+	}
+	if o.StaticLimit <= 0 {
+		// Plain truncated backoff without the dynamic limit pins the
+		// ceiling at t_M: collisions stay rare, but operations
+		// oversleep under light contention — the performance the
+		// dynamic limit recovers (§4.3: "a larger one also leads to
+		// lower performance").
+		o.StaticLimit = o.BackoffMax
+	}
+	if o.RetryWindow <= 0 {
+		o.RetryWindow = sim.Millisecond
+	}
+	if o.GammaHigh <= 0 {
+		o.GammaHigh = 0.5
+	}
+	if o.GammaLow <= 0 {
+		o.GammaLow = 0.1
+	}
+}
+
+// ConflictAvoidance reports whether any conflict-avoidance mechanism
+// is on.
+func (o *Options) ConflictAvoidance() bool {
+	return o.Backoff || o.DynamicLimit || o.CoroThrottle
+}

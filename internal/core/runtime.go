@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rnic"
+	"repro/internal/sim"
+	"repro/internal/verbs"
+)
+
+// Runtime is a SMART instance on one compute blade: it owns the device
+// context(s), allocates RDMA resources to threads according to the
+// configured policy, and runs the per-thread adaptive mechanisms.
+type Runtime struct {
+	eng     *sim.Engine
+	nic     *rnic.RNIC
+	targets []verbs.Target
+	opts    Options
+	threads []*Thread
+	stopped bool
+}
+
+// New builds a runtime for nThreads compute threads talking to the
+// given memory blades. All queue pairs are created here, at startup,
+// in the order each policy requires.
+func New(nic *rnic.RNIC, targets []verbs.Target, nThreads int, opts Options) (*Runtime, error) {
+	if nThreads < 1 {
+		return nil, fmt.Errorf("core: need at least one thread")
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("core: need at least one memory blade")
+	}
+	opts.withDefaults()
+	rt := &Runtime{eng: nic.Engine(), nic: nic, targets: targets, opts: opts}
+
+	for i := 0; i < nThreads; i++ {
+		rt.threads = append(rt.threads, newThread(rt, i))
+	}
+
+	switch opts.Policy {
+	case SharedQP:
+		ctx := verbs.Open(nic)
+		cq := ctx.CreateCQ()
+		qps := make([]*verbs.QP, len(targets))
+		for j, tgt := range targets {
+			qps[j] = ctx.CreateQP(cq, tgt)
+		}
+		for _, t := range rt.threads {
+			t.cq, t.qps = cq, qps
+		}
+
+	case MultiplexedQP:
+		ctx := verbs.Open(nic)
+		for g := 0; g < nThreads; g += opts.MultiplexQ {
+			cq := ctx.CreateCQ()
+			qps := make([]*verbs.QP, len(targets))
+			for j, tgt := range targets {
+				qps[j] = ctx.CreateQP(cq, tgt)
+			}
+			for i := g; i < g+opts.MultiplexQ && i < nThreads; i++ {
+				rt.threads[i].cq, rt.threads[i].qps = cq, qps
+			}
+		}
+
+	case PerThreadQP:
+		// One shared context with the driver's default doorbells; each
+		// thread creates its own CQ and QPs, in thread order, so the
+		// round-robin mapping implicitly shares doorbells (§3.1).
+		ctx := verbs.Open(nic)
+		for _, t := range rt.threads {
+			t.cq = ctx.CreateCQ()
+			t.qps = make([]*verbs.QP, len(targets))
+			for j, tgt := range targets {
+				t.qps[j] = ctx.CreateQP(t.cq, tgt)
+			}
+		}
+
+	case PerThreadContext:
+		// A private device context per thread avoids doorbell sharing
+		// but multiplies memory registrations (MTT/MPT pressure).
+		for _, t := range rt.threads {
+			ctx := verbs.Open(nic)
+			t.cq = ctx.CreateCQ()
+			t.qps = make([]*verbs.QP, len(targets))
+			for j, tgt := range targets {
+				t.qps[j] = ctx.CreateQP(t.cq, tgt)
+			}
+		}
+
+	case PerThreadDoorbell:
+		// SMART's thread-aware allocation: one shared context whose
+		// medium-latency doorbell count is raised to the thread count
+		// (the MLX5_TOTAL_UUARS tuning plus driver patch). QPs are
+		// created in blade-major rounds so the deterministic
+		// round-robin assignment lands every one of thread i's QPs on
+		// doorbell i.
+		ctx := verbs.Open(nic)
+		dbs := nThreads
+		if dbs < nic.P.DefaultMediumDBs {
+			dbs = nic.P.DefaultMediumDBs
+		}
+		if max := nic.P.MaxDoorbells; dbs > max {
+			dbs = max // beyond the hardware limit threads share (fn. 4)
+		}
+		if err := ctx.SetMediumDoorbells(dbs); err != nil {
+			return nil, err
+		}
+		for _, t := range rt.threads {
+			t.cq = ctx.CreateCQ()
+			t.qps = make([]*verbs.QP, len(targets))
+		}
+		for j, tgt := range targets {
+			for _, t := range rt.threads {
+				t.qps[j] = ctx.CreateQP(t.cq, tgt)
+			}
+		}
+
+	default:
+		return nil, fmt.Errorf("core: unknown policy %v", opts.Policy)
+	}
+
+	for _, t := range rt.threads {
+		t.start()
+	}
+	return rt, nil
+}
+
+// MustNew is New that panics on error, for benchmarks and examples.
+func MustNew(nic *rnic.RNIC, targets []verbs.Target, nThreads int, opts Options) *Runtime {
+	rt, err := New(nic, targets, nThreads, opts)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// Engine returns the simulation engine.
+func (rt *Runtime) Engine() *sim.Engine { return rt.eng }
+
+// Options returns the runtime's effective options (defaults filled).
+func (rt *Runtime) Options() Options { return rt.opts }
+
+// Targets returns the memory blades, in blade order.
+func (rt *Runtime) Targets() []verbs.Target { return rt.targets }
+
+// Threads returns the runtime's threads.
+func (rt *Runtime) Threads() []*Thread { return rt.threads }
+
+// Thread returns thread i.
+func (rt *Runtime) Thread(i int) *Thread { return rt.threads[i] }
+
+// bladeIndex maps a blade ID to its index in targets.
+func (rt *Runtime) bladeIndex(bladeID int) int {
+	for j, tgt := range rt.targets {
+		if tgt.Mem.ID == bladeID {
+			return j
+		}
+	}
+	panic(fmt.Sprintf("core: no QP for blade %d", bladeID))
+}
+
+// Stop terminates the per-thread housekeeping processes at their next
+// tick. Call before stopping the engine.
+func (rt *Runtime) Stop() { rt.stopped = true }
+
+// Stopped reports whether Stop was called.
+func (rt *Runtime) Stopped() bool { return rt.stopped }
+
+// TotalStats aggregates all threads' lifetime statistics.
+func (rt *Runtime) TotalStats() ThreadStats {
+	var s ThreadStats
+	for _, t := range rt.threads {
+		s.Ops += t.Stats.Ops
+		s.WRs += t.Stats.WRs
+		s.CASTotal += t.Stats.CASTotal
+		s.CASFailed += t.Stats.CASFailed
+	}
+	return s
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/verbs"
+)
+
+// ThreadStats are lifetime counters a thread accumulates.
+type ThreadStats struct {
+	Ops       uint64 // application operations (BeginOp/EndOp brackets)
+	WRs       uint64 // completed work requests
+	CASTotal  uint64 // CAS attempts through BackoffCASSync/CASSync
+	CASFailed uint64 // unsuccessful CAS attempts (retries)
+}
+
+// Thread owns one compute thread's RDMA resources — its QPs (one per
+// memory blade), completion queue, credits, and conflict-avoidance
+// state — and hosts the coroutines the application spawns on it. Both
+// adaptive mechanisms keep their state thread-local, as in the paper.
+type Thread struct {
+	rt  *Runtime
+	ID  int
+	qps []*verbs.QP
+	cq  *verbs.CQ
+
+	// Work request throttling (§4.2).
+	credits     *sim.Credits
+	cmax        int
+	wrCompleted uint64 // monotone counter the epoch tuner samples
+
+	// Conflict avoidance (§4.3). γ is "the percentage of retries for
+	// all operations": unsuccessful CAS attempts over completed
+	// operations in the window, so read-mostly workloads are not
+	// throttled by a handful of contended writers.
+	coroCredits *sim.Credits
+	cmaxCoro    int
+	tmax        sim.Time
+	winOps      uint64 // operations completed in the current γ window
+	winRetries  uint64 // unsuccessful CAS attempts in the window
+
+	Stats ThreadStats
+}
+
+func newThread(rt *Runtime, id int) *Thread {
+	t := &Thread{rt: rt, ID: id}
+	o := &rt.opts
+	if o.WorkReqThrottle {
+		t.cmax = o.CMax
+		t.credits = sim.NewCredits(rt.eng, int64(o.CMax))
+	}
+	if o.CoroThrottle {
+		t.cmaxCoro = o.Depth
+		t.coroCredits = sim.NewCredits(rt.eng, int64(o.Depth))
+	}
+	if o.DynamicLimit {
+		t.tmax = o.BackoffUnit
+	} else {
+		t.tmax = o.StaticLimit
+	}
+	return t
+}
+
+// start launches the thread's housekeeping processes.
+func (t *Thread) start() {
+	o := &t.rt.opts
+	if o.WorkReqThrottle && *o.AdaptCMax {
+		t.rt.eng.Go(fmt.Sprintf("t%d-cmax-tuner", t.ID), t.cmaxTuner)
+	}
+	if o.DynamicLimit || o.CoroThrottle {
+		t.rt.eng.Go(fmt.Sprintf("t%d-retry-ticker", t.ID), t.retryTicker)
+	}
+}
+
+// CMax returns the current work-request credit ceiling (0 when
+// throttling is off).
+func (t *Thread) CMax() int { return t.cmax }
+
+// TMax returns the current backoff ceiling.
+func (t *Thread) TMax() sim.Time { return t.tmax }
+
+// CMaxCoro returns the current coroutine credit ceiling (0 when
+// coroutine throttling is off).
+func (t *Thread) CMaxCoro() int { return t.cmaxCoro }
+
+// QP returns the thread's queue pair for the given blade ID.
+func (t *Thread) QP(bladeID int) *verbs.QP { return t.qps[t.rt.bladeIndex(bladeID)] }
+
+// Spawn starts a coroutine on this thread and returns its context.
+// All of a thread's coroutines share its QPs, CQ, and doorbell.
+func (t *Thread) Spawn(name string, fn func(c *Ctx)) *Ctx {
+	c := &Ctx{T: t}
+	c.proc = t.rt.eng.Go(name, func(p *sim.Proc) {
+		fn(c)
+	})
+	return c
+}
+
+// updateCMax implements Algorithm 1's UPDATECMAX: move the ceiling to
+// target, shifting the live credit balance by the difference.
+func (t *Thread) updateCMax(target int) {
+	t.credits.Add(int64(target - t.cmax))
+	t.cmax = target
+}
+
+// cmaxTuner is Algorithm 1's UPDATE loop: each epoch, measure the
+// completed-WR throughput under every candidate C_max for Δ, adopt the
+// best, then hold it for the stable phase (60Δ by default).
+func (t *Thread) cmaxTuner(p *sim.Proc) {
+	o := &t.rt.opts
+	for !t.rt.stopped {
+		best, bestP := t.cmax, uint64(0)
+		first := true
+		for _, target := range o.CMaxCandidates {
+			t.updateCMax(target)
+			start := t.wrCompleted
+			p.Sleep(o.UpdateDelta)
+			if t.rt.stopped {
+				return
+			}
+			if completed := t.wrCompleted - start; first || completed > bestP {
+				best, bestP, first = target, completed, false
+			}
+		}
+		t.updateCMax(best)
+		p.Sleep(sim.Time(o.StableEpochs) * o.UpdateDelta)
+	}
+}
+
+// retryTicker samples the retry rate γ every RetryWindow and adjusts
+// the conflict-avoidance knobs: first the coroutine depth c_max, and —
+// only once c_max is pinned at a bound — the backoff ceiling t_max.
+func (t *Thread) retryTicker(p *sim.Proc) {
+	o := &t.rt.opts
+	for !t.rt.stopped {
+		p.Sleep(o.RetryWindow)
+		ops, retries := t.winOps, t.winRetries
+		t.winOps, t.winRetries = 0, 0
+		if ops == 0 {
+			continue
+		}
+		gamma := float64(retries) / float64(ops)
+		switch {
+		case gamma > o.GammaHigh:
+			if o.CoroThrottle && t.cmaxCoro > 1 {
+				t.setCMaxCoro(t.cmaxCoro / 2)
+			} else if o.DynamicLimit && t.tmax < o.BackoffMax {
+				t.tmax *= 2
+				if t.tmax > o.BackoffMax {
+					t.tmax = o.BackoffMax
+				}
+			}
+		case gamma < o.GammaLow:
+			if o.CoroThrottle && t.cmaxCoro < o.Depth {
+				t.setCMaxCoro(t.cmaxCoro * 2)
+			} else if o.DynamicLimit && t.tmax > o.BackoffUnit {
+				t.tmax /= 2
+				if t.tmax < o.BackoffUnit {
+					t.tmax = o.BackoffUnit
+				}
+			}
+		}
+	}
+}
+
+func (t *Thread) setCMaxCoro(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if max := t.rt.opts.Depth; n > max {
+		n = max
+	}
+	t.coroCredits.Add(int64(n - t.cmaxCoro))
+	t.cmaxCoro = n
+}

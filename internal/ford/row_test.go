@@ -1,0 +1,57 @@
+package ford
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestReadOwnWrites(t *testing.T) {
+	cl := newCluster(t)
+	db := NewDB(cl.Targets(), []TableSpec{{Name: "t", Records: 4, Payload: 8}})
+	db.LoadDirect("t", 1, PutU64(7))
+	runOne(t, cl, 1, func(_ int, c *core.Ctx) {
+		tx := db.Begin(c)
+		if _, err := tx.ReadForUpdate("t", 1); err != nil {
+			t.Errorf("lock: %v", err)
+			return
+		}
+		// Reading a key we hold locked must not self-conflict...
+		v, err := tx.Read("t", 1)
+		if err != nil {
+			t.Errorf("read-own-locked: %v", err)
+			return
+		}
+		if U64(v) != 7 {
+			t.Errorf("read-own-locked value = %d", U64(v))
+		}
+		// ...and must observe our staged write.
+		tx.Write("t", 1, PutU64(99))
+		v, err = tx.Read("t", 1)
+		if err != nil || U64(v) != 99 {
+			t.Errorf("read-own-write = %d, %v", U64(v), err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Errorf("commit: %v", err)
+		}
+	})
+	if got := U64(db.ReadDirect("t", 1)); got != 99 {
+		t.Fatalf("final = %d", got)
+	}
+}
+
+func TestReadOwnWriteDoesNotTouchNetwork(t *testing.T) {
+	cl := newCluster(t)
+	db := NewDB(cl.Targets(), []TableSpec{{Name: "t", Records: 4, Payload: 8}})
+	db.LoadDirect("t", 2, PutU64(1))
+	runOne(t, cl, 1, func(_ int, c *core.Ctx) {
+		tx := db.Begin(c)
+		tx.ReadForUpdate("t", 2)
+		before := c.T.Stats.WRs
+		tx.Read("t", 2)
+		if got := c.T.Stats.WRs - before; got != 0 {
+			t.Errorf("read-own-write issued %d work requests", got)
+		}
+		tx.Abort()
+	})
+}

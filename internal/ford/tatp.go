@@ -1,0 +1,142 @@
+package ford
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/verbs"
+)
+
+// TATP is the Telecom Application Transaction Processing benchmark:
+// 80% read-only transactions over subscriber data, uniformly
+// distributed keys. Record payloads follow the spirit of the schema
+// (the subscriber row is by far the widest), which makes TATP lean on
+// bandwidth where SmallBank leans on IOPS — the distinction §6.2.2
+// reports.
+type TATP struct {
+	DB *DB
+	N  uint64
+}
+
+const (
+	tatpGetSubscriberData    = iota // 35%, read-only
+	tatpGetNewDestination           // 10%, read-only
+	tatpGetAccessData               // 35%, read-only
+	tatpUpdateSubscriberData        //  2%
+	tatpUpdateLocation              // 14%
+	tatpInsertCallForwarding        //  2%
+	tatpDeleteCallForwarding        //  2%
+)
+
+// NewTATP creates the four tables over the blades.
+func NewTATP(targets []verbs.Target, subscribers uint64) *TATP {
+	db := NewDB(targets, []TableSpec{
+		{Name: "subscriber", Records: subscribers, Payload: 256},
+		{Name: "access_info", Records: subscribers, Payload: 64},
+		{Name: "special_facility", Records: subscribers, Payload: 64},
+		{Name: "call_forwarding", Records: subscribers, Payload: 64},
+	})
+	return &TATP{DB: db, N: subscribers}
+}
+
+// Load populates all tables.
+func (tp *TATP) Load() {
+	pay := func(n int, v uint64) []byte {
+		b := make([]byte, n)
+		copy(b, PutU64(v))
+		return b
+	}
+	for k := uint64(0); k < tp.N; k++ {
+		tp.DB.LoadDirect("subscriber", k, pay(256, k))
+		tp.DB.LoadDirect("access_info", k, pay(64, k))
+		tp.DB.LoadDirect("special_facility", k, pay(64, k))
+		tp.DB.LoadDirect("call_forwarding", k, pay(64, k))
+	}
+}
+
+func (tp *TATP) pick(rng *rand.Rand) int {
+	r := rng.Float64()
+	switch {
+	case r < 0.35:
+		return tatpGetSubscriberData
+	case r < 0.45:
+		return tatpGetNewDestination
+	case r < 0.80:
+		return tatpGetAccessData
+	case r < 0.82:
+		return tatpUpdateSubscriberData
+	case r < 0.96:
+		return tatpUpdateLocation
+	case r < 0.98:
+		return tatpInsertCallForwarding
+	default:
+		return tatpDeleteCallForwarding
+	}
+}
+
+// RunOne executes one logical transaction to commit, retrying aborts,
+// and returns the abort count.
+func (tp *TATP) RunOne(c *core.Ctx, rng *rand.Rand) (aborts int) {
+	c.BeginOp()
+	defer c.EndOp()
+	kind := tp.pick(rng)
+	sid := uint64(rng.Int63n(int64(tp.N)))
+	loc := rng.Uint64()
+	for {
+		if tp.exec(c, kind, sid, loc) == nil {
+			return aborts
+		}
+		aborts++
+	}
+}
+
+func (tp *TATP) exec(c *core.Ctx, kind int, sid, loc uint64) error {
+	tx := tp.DB.Begin(c)
+	var err error
+	switch kind {
+	case tatpGetSubscriberData:
+		_, err = tx.Read("subscriber", sid)
+	case tatpGetNewDestination:
+		if _, err = tx.Read("special_facility", sid); err == nil {
+			_, err = tx.Read("call_forwarding", sid)
+		}
+	case tatpGetAccessData:
+		_, err = tx.Read("access_info", sid)
+	case tatpUpdateSubscriberData:
+		var sub []byte
+		if sub, err = tx.ReadForUpdate("subscriber", sid); err == nil {
+			if _, err = tx.ReadForUpdate("special_facility", sid); err == nil {
+				ns := append([]byte(nil), sub...)
+				copy(ns, PutU64(loc))
+				tx.Write("subscriber", sid, ns)
+				sf := make([]byte, 64)
+				copy(sf, PutU64(loc))
+				tx.Write("special_facility", sid, sf)
+			}
+		}
+	case tatpUpdateLocation:
+		var sub []byte
+		if sub, err = tx.ReadForUpdate("subscriber", sid); err == nil {
+			ns := append([]byte(nil), sub...)
+			copy(ns[8:], PutU64(loc))
+			tx.Write("subscriber", sid, ns)
+		}
+	case tatpInsertCallForwarding:
+		if _, err = tx.Read("special_facility", sid); err == nil {
+			if _, err = tx.ReadForUpdate("call_forwarding", sid); err == nil {
+				cf := make([]byte, 64)
+				copy(cf, PutU64(loc|1))
+				tx.Write("call_forwarding", sid, cf)
+			}
+		}
+	case tatpDeleteCallForwarding:
+		if _, err = tx.ReadForUpdate("call_forwarding", sid); err == nil {
+			tx.Write("call_forwarding", sid, make([]byte, 64))
+		}
+	}
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}

@@ -1,0 +1,214 @@
+package ford
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/blade"
+	"repro/internal/core"
+)
+
+// ErrConflict is returned when a transaction loses a lock race or
+// fails read-set validation. The caller aborts and retries.
+var ErrConflict = errors.New("ford: transaction conflict")
+
+type rsEntry struct {
+	table   string
+	key     uint64
+	addr    blade.Addr
+	version uint64
+	data    []byte
+}
+
+type wsEntry struct {
+	table   string
+	key     uint64
+	addr    blade.Addr
+	rec     int
+	version uint64
+	data    []byte // current payload (from the locked read)
+	newData []byte // staged payload (nil until Write)
+	locked  bool
+}
+
+// Tx is one transaction attempt. It must end in Commit or Abort.
+type Tx struct {
+	db   *DB
+	c    *core.Ctx
+	rs   []rsEntry
+	ws   []wsEntry
+	done bool
+}
+
+// Begin starts a transaction attempt on the coroutine c. The caller is
+// expected to bracket attempts of one logical transaction between
+// c.BeginOp and c.EndOp so conflict-avoidance statistics and the
+// coroutine throttle see it as one operation.
+func (db *DB) Begin(c *core.Ctx) *Tx {
+	return &Tx{db: db, c: c}
+}
+
+// lockTag is the value written into record lock words.
+func (tx *Tx) lockTag() uint64 { return uint64(tx.c.T.ID)<<8 | 1 }
+
+// Read adds (table, key) to the read set and returns its payload.
+// Reads of keys already in the transaction's own write set are served
+// locally (read-own-writes) without touching the network.
+func (tx *Tx) Read(table string, key uint64) ([]byte, error) {
+	for i := range tx.ws {
+		if tx.ws[i].table == table && tx.ws[i].key == key {
+			if tx.ws[i].newData != nil {
+				return tx.ws[i].newData, nil
+			}
+			return tx.ws[i].data, nil
+		}
+	}
+	addr, rec := tx.db.recordAddr(table, key)
+	buf := make([]byte, rec)
+	tx.c.ReadSync(addr, buf)
+	e := rsEntry{
+		table:   table,
+		key:     key,
+		addr:    addr,
+		version: binary.LittleEndian.Uint64(buf[8:16]),
+		data:    buf[recHdr:],
+	}
+	if binary.LittleEndian.Uint64(buf[0:8]) != 0 {
+		// Record locked by a writer: its payload may be mid-update.
+		return nil, ErrConflict
+	}
+	tx.rs = append(tx.rs, e)
+	return e.data, nil
+}
+
+// ReadForUpdate locks (table, key) with a CAS — applying SMART's
+// backoff when enabled — then reads it. A lost lock race returns
+// ErrConflict.
+func (tx *Tx) ReadForUpdate(table string, key uint64) ([]byte, error) {
+	addr, rec := tx.db.recordAddr(table, key)
+	if _, ok := tx.c.BackoffCASSync(addr, 0, tx.lockTag()); !ok {
+		return nil, ErrConflict
+	}
+	buf := make([]byte, rec)
+	tx.c.ReadSync(addr, buf)
+	e := wsEntry{
+		table:   table,
+		key:     key,
+		addr:    addr,
+		rec:     rec,
+		version: binary.LittleEndian.Uint64(buf[8:16]),
+		data:    buf[recHdr:],
+		locked:  true,
+	}
+	tx.ws = append(tx.ws, e)
+	return e.data, nil
+}
+
+// Write stages a new payload for a key previously locked with
+// ReadForUpdate.
+func (tx *Tx) Write(table string, key uint64, payload []byte) {
+	for i := range tx.ws {
+		if tx.ws[i].table == table && tx.ws[i].key == key {
+			if len(payload) != tx.ws[i].rec-recHdr {
+				panic("ford: payload size mismatch")
+			}
+			tx.ws[i].newData = payload
+			return
+		}
+	}
+	panic("ford: Write without ReadForUpdate")
+}
+
+// Commit validates the read set, persists the undo log, and installs
+// the write set. On ErrConflict the transaction has already been
+// aborted (locks released).
+func (tx *Tx) Commit() error {
+	if tx.done {
+		panic("ford: Commit on finished tx")
+	}
+	c := tx.c
+
+	// Validation: re-read read-set version words in one batch.
+	if len(tx.rs) > 0 {
+		bufs := make([][]byte, len(tx.rs))
+		for i, e := range tx.rs {
+			bufs[i] = make([]byte, 8)
+			c.Read(e.addr.Add(8), bufs[i])
+		}
+		c.PostSend()
+		c.Sync()
+		for i, e := range tx.rs {
+			if binary.LittleEndian.Uint64(bufs[i]) != e.version {
+				tx.Abort()
+				return ErrConflict
+			}
+		}
+	}
+
+	if len(tx.ws) == 0 {
+		tx.done = true
+		return nil // read-only: validated, done
+	}
+
+	// Undo log: one WRITE per involved blade carrying the old images,
+	// persisted on NVM before any in-place update.
+	perBlade := map[int][]byte{}
+	for _, e := range tx.ws {
+		img := make([]byte, 16+len(e.data))
+		binary.LittleEndian.PutUint64(img[0:8], e.key)
+		binary.LittleEndian.PutUint64(img[8:16], e.version)
+		copy(img[16:], e.data)
+		perBlade[e.addr.Blade] = append(perBlade[e.addr.Blade], img...)
+	}
+	for bladeID, img := range perBlade {
+		l := tx.db.logFor(c.T.ID, bladeID)
+		c.Write(l.next(uint64(len(img))), img)
+	}
+	c.PostSend()
+	c.Sync()
+
+	// Install: one WRITE per record rewrites [lock=0 | version+1 |
+	// payload], releasing the lock in the same request, plus one WRITE
+	// per backup replica (FORD's primary-backup replication).
+	for _, e := range tx.ws {
+		payload := e.newData
+		if payload == nil {
+			payload = e.data // locked but unmodified: write back as-is
+		}
+		rec := make([]byte, e.rec)
+		binary.LittleEndian.PutUint64(rec[8:16], e.version+1)
+		copy(rec[recHdr:], payload)
+		c.Write(e.addr, rec)
+		if bk := tx.db.backupAddr(e.table, e.key); !bk.IsNil() {
+			c.Write(bk, rec)
+		}
+	}
+	c.PostSend()
+	c.Sync()
+	tx.done = true
+	return nil
+}
+
+// Abort releases every lock the transaction acquired.
+func (tx *Tx) Abort() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	var zero [8]byte
+	n := 0
+	for _, e := range tx.ws {
+		if e.locked {
+			tx.c.Write(e.addr, zero[:])
+			n++
+		}
+	}
+	if n > 0 {
+		tx.c.PostSend()
+		tx.c.Sync()
+	}
+}
+
+// ReadSetSize and WriteSetSize expose set sizes for tests.
+func (tx *Tx) ReadSetSize() int  { return len(tx.rs) }
+func (tx *Tx) WriteSetSize() int { return len(tx.ws) }

@@ -1,0 +1,259 @@
+package rnic
+
+import (
+	"repro/internal/blade"
+	"repro/internal/sim"
+)
+
+// OpKind enumerates the one-sided verbs the model transports.
+type OpKind int
+
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpCAS
+	OpFAA
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "READ"
+	case OpWrite:
+		return "WRITE"
+	case OpCAS:
+		return "CAS"
+	case OpFAA:
+		return "FAA"
+	}
+	return "?"
+}
+
+// Op is one work request in flight. The verbs layer fills in the
+// callbacks: Exec applies the memory side effect at the responder at
+// its execution time (keeping blade memory linearized in virtual
+// time), and Complete delivers the completion entry at the requester.
+type Op struct {
+	Kind    OpKind
+	Payload int // payload bytes (read/write length; 8 for atomics)
+
+	Exec     func()
+	Complete func()
+}
+
+// Counters accumulates observable totals, mirroring what Neo-Host and
+// the bench tool report on real hardware.
+type Counters struct {
+	Completed  uint64 // work requests completed
+	DMABytes   uint64 // host-DRAM traffic (Fig. 4b's metric)
+	WQEMisses  uint64
+	MTTMisses  uint64
+	AtomicOps  uint64
+	BytesOnOut uint64
+	BytesOnIn  uint64
+}
+
+// RNIC models one network card: the requester pipeline of its host
+// when posting verbs, and the responder pipeline when remote cards
+// target its host's memory.
+type RNIC struct {
+	Name string
+	P    Params
+
+	eng        *sim.Engine
+	reqPipe    *sim.Server
+	respPipe   *sim.Server
+	atomicUnit *sim.Server
+	linkOut    *sim.Server
+	linkIn     *sim.Server
+
+	outstanding int // posted but not yet completed WRs (WQE cache load)
+	contexts    int // open device contexts (MTT/MPT pressure)
+
+	C Counters
+}
+
+// New returns an RNIC bound to the engine with the given parameters.
+func New(eng *sim.Engine, name string, p Params) *RNIC {
+	return &RNIC{
+		Name:       name,
+		P:          p,
+		eng:        eng,
+		reqPipe:    sim.NewServer(eng),
+		respPipe:   sim.NewServer(eng),
+		atomicUnit: sim.NewServer(eng),
+		linkOut:    sim.NewServer(eng),
+		linkIn:     sim.NewServer(eng),
+	}
+}
+
+// Engine returns the simulation engine the card runs on.
+func (r *RNIC) Engine() *sim.Engine { return r.eng }
+
+// Outstanding returns the number of in-flight work requests.
+func (r *RNIC) Outstanding() int { return r.outstanding }
+
+// AddContext registers an additional open device context. The first
+// context is free; more than one degrades the MTT/MPT hit rate because
+// each context registers its memory regions separately.
+func (r *RNIC) AddContext() { r.contexts++ }
+
+// Contexts returns the number of open device contexts.
+func (r *RNIC) Contexts() int { return r.contexts }
+
+// linkTime converts a byte count to link occupancy.
+func (r *RNIC) linkTime(bytes int) sim.Time {
+	return sim.Time(float64(bytes)/r.P.LinkBytesPerNS + 0.5)
+}
+
+// wireBytes returns (request, response) wire sizes for an op.
+func wireBytes(p Params, op *Op) (out, in int) {
+	switch op.Kind {
+	case OpRead:
+		return p.HeaderBytes, p.HeaderBytes + op.Payload
+	case OpWrite:
+		return p.HeaderBytes + op.Payload, p.HeaderBytes
+	case OpCAS:
+		return p.HeaderBytes + 16, p.HeaderBytes + 8
+	default: // FAA
+		return p.HeaderBytes + 8, p.HeaderBytes + 8
+	}
+}
+
+// Submit launches op from this (requester) card toward the target
+// card, whose host memory is of the given kind. The full path is
+// simulated: requester pipeline → outbound link → wire → responder
+// pipeline (+ atomic unit) → execution → wire → completion processing
+// (incl. WQE cache lookup) → CQE delivery.
+func (r *RNIC) Submit(op *Op, target *RNIC, targetKind blade.Kind) {
+	p := &r.P
+	r.outstanding++
+
+	service := p.ReadService
+	switch op.Kind {
+	case OpWrite:
+		service = p.WriteService
+	case OpCAS, OpFAA:
+		service = p.AtomicService
+	}
+
+	// Address translation: with multiple device contexts, the MTT/MPT
+	// cache thrashes and some requests pay a host-memory fetch.
+	extraLat := sim.Time(0)
+	missProb := p.MTTMissProbSingleCtx
+	if r.contexts > 1 {
+		missProb = p.MTTMissProbMultiCtx
+	}
+	if r.eng.Rand().Float64() < missProb {
+		r.C.MTTMisses++
+		service += p.MTTMissPipe
+		extraLat += p.MTTMissLatency
+		r.C.DMABytes += 64
+	}
+
+	outBytes, inBytes := wireBytes(*p, op)
+	r.C.BytesOnOut += uint64(outBytes)
+	r.C.BytesOnIn += uint64(inBytes)
+
+	r.reqPipe.Submit(service, func() {
+		r.linkOut.Submit(r.linkTime(outBytes), func() {
+			r.eng.Schedule(p.OneWayLatency+extraLat, func() {
+				target.respond(op, targetKind, func() {
+					// Response travels back; charge the requester's
+					// inbound link, then process the completion.
+					r.eng.Schedule(p.OneWayLatency, func() {
+						r.linkIn.Submit(r.linkTime(inBytes), func() {
+							r.complete(op)
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+// respond runs op through this card's responder path and then invokes
+// done. The memory side effect (op.Exec) happens here, at the moment
+// the real card would apply it, so all blade accesses are linearized
+// in virtual-time order. Persistent-memory media time is modeled as
+// added latency, not pipeline occupancy: the memory controller absorbs
+// the access while the RNIC moves on.
+func (r *RNIC) respond(op *Op, kind blade.Kind, done func()) {
+	p := &r.P
+	mediaLat := sim.Time(0)
+	if kind == blade.NVM {
+		switch op.Kind {
+		case OpRead:
+			mediaLat = p.NVMReadExtra
+		default:
+			mediaLat = p.NVMWriteExtra
+		}
+	}
+	finish := func() {
+		fire := func() {
+			if op.Exec != nil {
+				op.Exec()
+			}
+			done()
+		}
+		if mediaLat > 0 {
+			r.eng.Schedule(mediaLat, fire)
+		} else {
+			fire()
+		}
+	}
+	r.respPipe.Submit(p.ResponderService, func() {
+		if op.Kind == OpCAS || op.Kind == OpFAA {
+			r.C.AtomicOps++
+			r.atomicUnit.Submit(p.AtomicUnitService, finish)
+		} else {
+			finish()
+		}
+	})
+}
+
+// complete processes the response at the requester: WQE cache lookup
+// (with outstanding-dependent hit rate), pipeline occupancy for the
+// CQE, DMA accounting, and finally CQE delivery via op.Complete.
+func (r *RNIC) complete(op *Op) {
+	p := &r.P
+	service := p.CQEService
+	missLat := sim.Time(0)
+	dma := p.BaseDMABytes + op.Payload
+	if r.outstanding > p.WQECacheEntries {
+		pMiss := 1.0 - float64(p.WQECacheEntries)/float64(r.outstanding)
+		if r.eng.Rand().Float64() < pMiss {
+			r.C.WQEMisses++
+			service += p.WQEMissPipe
+			missLat = p.WQEMissLatency
+			dma += p.WQEMissDMABytes
+		}
+	}
+	r.reqPipe.Submit(service, func() {
+		deliver := func() {
+			r.outstanding--
+			r.C.Completed++
+			r.C.DMABytes += uint64(dma)
+			if op.Complete != nil {
+				op.Complete()
+			}
+		}
+		if missLat > 0 {
+			r.eng.Schedule(missLat, deliver)
+		} else {
+			deliver()
+		}
+	})
+}
+
+// Snapshot returns a copy of the counters, for windowed measurements.
+func (r *RNIC) Snapshot() Counters { return r.C }
+
+// Utilization returns the busy fraction of the requester pipeline over
+// the elapsed virtual time (diagnostic).
+func (r *RNIC) Utilization() float64 {
+	if r.eng.Now() == 0 {
+		return 0
+	}
+	return float64(r.reqPipe.Busy) / float64(r.eng.Now())
+}

@@ -1,0 +1,225 @@
+package rnic
+
+import (
+	"testing"
+
+	"repro/internal/blade"
+	"repro/internal/sim"
+)
+
+func pair(seed int64) (*sim.Engine, *RNIC, *RNIC) {
+	e := sim.New(seed)
+	return e, New(e, "compute", Default()), New(e, "memory", Default())
+}
+
+func TestSubmitCompletesAndCounts(t *testing.T) {
+	e, req, resp := pair(1)
+	executed, completed := false, false
+	var execAt, doneAt sim.Time
+	op := &Op{
+		Kind:    OpRead,
+		Payload: 8,
+		Exec:    func() { executed = true; execAt = e.Now() },
+		Complete: func() {
+			completed = true
+			doneAt = e.Now()
+		},
+	}
+	req.Submit(op, resp, blade.DRAM)
+	if req.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d, want 1", req.Outstanding())
+	}
+	e.Run(0)
+	if !executed || !completed {
+		t.Fatalf("executed=%v completed=%v", executed, completed)
+	}
+	if execAt >= doneAt {
+		t.Fatalf("execution at %v not before completion at %v", execAt, doneAt)
+	}
+	if req.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d after completion", req.Outstanding())
+	}
+	if req.C.Completed != 1 {
+		t.Fatalf("Completed = %d", req.C.Completed)
+	}
+	// Unloaded RTT should be near 2*OneWayLatency plus small services.
+	p := Default()
+	min := 2 * p.OneWayLatency
+	max := 2*p.OneWayLatency + 500
+	if doneAt < min || doneAt > max {
+		t.Fatalf("unloaded RTT = %v, want within [%v, %v]", doneAt, min, max)
+	}
+}
+
+func TestDMABaselineBytes(t *testing.T) {
+	e, req, resp := pair(2)
+	p := Default()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		req.Submit(&Op{Kind: OpRead, Payload: 8}, resp, blade.DRAM)
+	}
+	e.Run(0)
+	perWR := float64(req.C.DMABytes) / n
+	want := float64(p.BaseDMABytes + 8)
+	// Only the rare single-context MTT misses may add to the baseline.
+	if perWR < want || perWR > want+10 {
+		t.Fatalf("DMA bytes/WR = %.1f, want ≈ %.0f", perWR, want)
+	}
+}
+
+func TestWQECacheThrashing(t *testing.T) {
+	// Far more outstanding WRs than cache entries => misses and extra DMA.
+	e, req, resp := pair(3)
+	n := req.P.WQECacheEntries * 3
+	for i := 0; i < n; i++ {
+		req.Submit(&Op{Kind: OpRead, Payload: 8}, resp, blade.DRAM)
+	}
+	e.Run(0)
+	if req.C.WQEMisses == 0 {
+		t.Fatal("expected WQE cache misses with 3x oversubscription")
+	}
+	missRate := float64(req.C.WQEMisses) / float64(n)
+	if missRate < 0.2 {
+		t.Fatalf("miss rate = %.2f, expected substantial thrashing", missRate)
+	}
+	perWR := float64(req.C.DMABytes) / float64(n)
+	base := float64(req.P.BaseDMABytes + 8)
+	if perWR <= base {
+		t.Fatalf("DMA bytes/WR = %.1f did not rise above baseline %.0f", perWR, base)
+	}
+}
+
+func TestNoThrashingUnderCacheSize(t *testing.T) {
+	e, req, resp := pair(4)
+	n := req.P.WQECacheEntries / 2
+	for i := 0; i < n; i++ {
+		req.Submit(&Op{Kind: OpRead, Payload: 8}, resp, blade.DRAM)
+	}
+	e.Run(0)
+	if req.C.WQEMisses != 0 {
+		t.Fatalf("WQEMisses = %d with outstanding below cache size", req.C.WQEMisses)
+	}
+}
+
+func TestMultiContextMTTMisses(t *testing.T) {
+	run := func(contexts int) uint64 {
+		e, req, resp := pair(5)
+		for i := 0; i < contexts; i++ {
+			req.AddContext()
+		}
+		for i := 0; i < 2000; i++ {
+			req.Submit(&Op{Kind: OpRead, Payload: 8}, resp, blade.DRAM)
+		}
+		e.Run(0)
+		return req.C.MTTMisses
+	}
+	single, multi := run(1), run(8)
+	if multi < single*3 {
+		t.Fatalf("MTT misses single=%d multi=%d; expected large increase", single, multi)
+	}
+}
+
+func TestAtomicsSerializeOnAtomicUnit(t *testing.T) {
+	e, req, resp := pair(6)
+	n := 100
+	var last sim.Time
+	for i := 0; i < n; i++ {
+		req.Submit(&Op{Kind: OpCAS, Payload: 8, Complete: func() { last = e.Now() }}, resp, blade.DRAM)
+	}
+	e.Run(0)
+	if resp.C.AtomicOps != uint64(n) {
+		t.Fatalf("AtomicOps = %d, want %d", resp.C.AtomicOps, n)
+	}
+	// The atomic unit serializes: completion of the last op cannot be
+	// earlier than n * AtomicUnitService.
+	if minSpan := sim.Time(n) * req.P.AtomicUnitService; last < minSpan {
+		t.Fatalf("last atomic completed at %v, faster than atomic unit allows (%v)", last, minSpan)
+	}
+}
+
+func TestNVMWritesSlower(t *testing.T) {
+	run := func(kind blade.Kind) sim.Time {
+		e, req, resp := pair(7)
+		var done sim.Time
+		req.Submit(&Op{Kind: OpWrite, Payload: 64, Complete: func() { done = e.Now() }}, resp, kind)
+		e.Run(0)
+		return done
+	}
+	dram, nvm := run(blade.DRAM), run(blade.NVM)
+	if nvm <= dram {
+		t.Fatalf("NVM write RTT %v not slower than DRAM %v", nvm, dram)
+	}
+}
+
+func TestBandwidthBoundLargeReads(t *testing.T) {
+	// 1 KB reads must be limited by link bandwidth (~15.5 MOP/s), far
+	// below the 8-byte IOPS ceiling.
+	e, req, resp := pair(8)
+	n := 4000
+	var last sim.Time
+	for i := 0; i < n; i++ {
+		req.Submit(&Op{Kind: OpRead, Payload: 1024, Complete: func() { last = e.Now() }}, resp, blade.DRAM)
+	}
+	e.Run(0)
+	mops := float64(n) / float64(last) * 1e3
+	if mops > 17 {
+		t.Fatalf("1KB read rate = %.1f MOP/s, expected bandwidth bound ≈15.5", mops)
+	}
+	if mops < 10 {
+		t.Fatalf("1KB read rate = %.1f MOP/s, unexpectedly slow", mops)
+	}
+}
+
+func TestIOPSCeilingSmallReads(t *testing.T) {
+	// Saturating 8-byte reads should approach but not exceed the
+	// ~110 MOP/s pipeline ceiling. Keep outstanding below the WQE
+	// cache by feeding in waves.
+	e, req, resp := pair(9)
+	const wave = 512
+	const waves = 40
+	var completed int
+	var last sim.Time
+	var launch func(k int)
+	launch = func(k int) {
+		if k >= waves {
+			return
+		}
+		for i := 0; i < wave; i++ {
+			req.Submit(&Op{Kind: OpRead, Payload: 8, Complete: func() {
+				completed++
+				last = e.Now()
+			}}, resp, blade.DRAM)
+		}
+		e.Schedule(sim.Time(wave)*10, func() { launch(k + 1) })
+	}
+	launch(0)
+	e.Run(0)
+	mops := float64(completed) / float64(last) * 1e3
+	if mops > 115 {
+		t.Fatalf("8B read rate = %.1f MOP/s exceeds hardware ceiling", mops)
+	}
+	if mops < 85 {
+		t.Fatalf("8B read rate = %.1f MOP/s, expected near the 110 ceiling", mops)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpRead.String() != "READ" || OpWrite.String() != "WRITE" ||
+		OpCAS.String() != "CAS" || OpFAA.String() != "FAA" || OpKind(99).String() != "?" {
+		t.Fatal("OpKind.String wrong")
+	}
+}
+
+func TestUtilizationReported(t *testing.T) {
+	e, req, resp := pair(10)
+	if req.Utilization() != 0 {
+		t.Fatal("utilization nonzero before run")
+	}
+	for i := 0; i < 100; i++ {
+		req.Submit(&Op{Kind: OpRead, Payload: 8}, resp, blade.DRAM)
+	}
+	e.Run(0)
+	if u := req.Utilization(); u <= 0 || u > 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+}

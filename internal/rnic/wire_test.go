@@ -1,0 +1,93 @@
+package rnic
+
+import (
+	"testing"
+
+	"repro/internal/blade"
+	"repro/internal/sim"
+)
+
+func TestWireBytesPerOp(t *testing.T) {
+	p := Default()
+	hdr := p.HeaderBytes
+	cases := []struct {
+		op      *Op
+		out, in int
+	}{
+		{&Op{Kind: OpRead, Payload: 64}, hdr, hdr + 64},
+		{&Op{Kind: OpWrite, Payload: 64}, hdr + 64, hdr},
+		{&Op{Kind: OpCAS, Payload: 8}, hdr + 16, hdr + 8},
+		{&Op{Kind: OpFAA, Payload: 8}, hdr + 8, hdr + 8},
+	}
+	for _, c := range cases {
+		out, in := wireBytes(p, c.op)
+		if out != c.out || in != c.in {
+			t.Errorf("%v: wire = (%d,%d), want (%d,%d)", c.op.Kind, out, in, c.out, c.in)
+		}
+	}
+}
+
+func TestLinkTimeRounding(t *testing.T) {
+	e := sim.New(1)
+	r := New(e, "x", Default())
+	if got := r.linkTime(16); got != 1 {
+		t.Fatalf("linkTime(16) = %v at 16 B/ns", got)
+	}
+	if got := r.linkTime(1024); got != 64 {
+		t.Fatalf("linkTime(1024) = %v", got)
+	}
+}
+
+func TestMTTMissAddsLatency(t *testing.T) {
+	// With a 100% MTT miss probability, the unloaded RTT grows by at
+	// least the miss latency.
+	base := func(missProb float64) sim.Time {
+		e := sim.New(2)
+		p := Default()
+		p.MTTMissProbSingleCtx = missProb
+		req := New(e, "c", p)
+		resp := New(e, "m", p)
+		var done sim.Time
+		req.Submit(&Op{Kind: OpRead, Payload: 8, Complete: func() { done = e.Now() }}, resp, blade.DRAM)
+		e.Run(0)
+		return done
+	}
+	fast, slow := base(0), base(1)
+	if slow < fast+Default().MTTMissLatency {
+		t.Fatalf("miss RTT %v vs hit RTT %v: latency penalty missing", slow, fast)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	e := sim.New(3)
+	req := New(e, "c", Default())
+	resp := New(e, "m", Default())
+	for i := 0; i < 10; i++ {
+		req.Submit(&Op{Kind: OpWrite, Payload: 128}, resp, blade.DRAM)
+	}
+	e.Run(0)
+	c := req.Snapshot()
+	if c.Completed != 10 {
+		t.Fatalf("Completed = %d", c.Completed)
+	}
+	wantOut := uint64(10 * (Default().HeaderBytes + 128))
+	if c.BytesOnOut != wantOut {
+		t.Fatalf("BytesOnOut = %d, want %d", c.BytesOnOut, wantOut)
+	}
+	if c.DMABytes == 0 {
+		t.Fatal("no DMA accounted")
+	}
+}
+
+func TestContextsCounted(t *testing.T) {
+	e := sim.New(4)
+	r := New(e, "c", Default())
+	if r.Contexts() != 0 {
+		t.Fatal("fresh card has contexts")
+	}
+	r.AddContext()
+	r.AddContext()
+	if r.Contexts() != 2 {
+		t.Fatalf("Contexts = %d", r.Contexts())
+	}
+}

@@ -1,0 +1,121 @@
+package sherman
+
+import (
+	"testing"
+	"testing/quick"
+
+	bladelib "repro/internal/blade"
+)
+
+func TestInternalNodeCodecRoundtrip(t *testing.T) {
+	n := &cachedInternal{
+		addr:     bladelib.Addr{Blade: 2, Offset: 4096},
+		keys:     []uint64{10, 20, 30},
+		children: []uint64{1, 2, 3, 4},
+		leafKids: true,
+	}
+	got := parseInternal(n.addr, remoteInternalBytes(n))
+	if got.leafKids != n.leafKids || len(got.keys) != 3 || len(got.children) != 4 {
+		t.Fatalf("roundtrip shape: %+v", got)
+	}
+	for i := range n.keys {
+		if got.keys[i] != n.keys[i] {
+			t.Fatalf("key %d mismatch", i)
+		}
+	}
+	for i := range n.children {
+		if got.children[i] != n.children[i] {
+			t.Fatalf("child %d mismatch", i)
+		}
+	}
+}
+
+// Property: internal-node child selection returns the child whose key
+// range covers the lookup key.
+func TestChildSelectionProperty(t *testing.T) {
+	n := &cachedInternal{
+		keys:     []uint64{100, 200, 300},
+		children: []uint64{0, 1, 2, 3},
+	}
+	f := func(key uint64) bool {
+		c := n.child(key)
+		switch {
+		case key < 100:
+			return c == 0
+		case key < 200:
+			return c == 1
+		case key < 300:
+			return c == 2
+		default:
+			return c == 3
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeafCoversFences(t *testing.T) {
+	raw := make([]byte, NodeBytes)
+	putU64(raw, leafLoOff, 100)
+	putU64(raw, leafHiOff, 200)
+	v := leafView{raw: raw}
+	for key, want := range map[uint64]bool{99: false, 100: true, 150: true, 199: true, 200: false} {
+		if v.covers(key) != want {
+			t.Errorf("covers(%d) = %v, want %v", key, v.covers(key), want)
+		}
+	}
+	// MaxKey hi fence means "no upper bound".
+	putU64(raw, leafHiOff, MaxKey)
+	if !v.covers(1 << 60) {
+		t.Error("MaxKey fence must cover everything above lo")
+	}
+}
+
+func TestLeafCapacityAndLayout(t *testing.T) {
+	if LeafCap != 60 {
+		t.Fatalf("LeafCap = %d; layout comment promises 60 entries in 1 KiB", LeafCap)
+	}
+	if entryOff(LeafCap-1)+16 > NodeBytes {
+		t.Fatal("last entry overflows the node")
+	}
+	if IntCap+1 > (NodeBytes-16)/8/2 {
+		t.Fatal("internal node layout overflows")
+	}
+}
+
+func TestBulkLoadHeights(t *testing.T) {
+	cl := newCluster(t)
+	small := BulkLoad(cl.Targets(), seqKeys(10), 0.7)
+	if small.Height() != 2 {
+		t.Fatalf("tiny tree height = %d, want 2 (root over leaves)", small.Height())
+	}
+	big := BulkLoad(cl.Targets(), seqKeys(100_000), 0.7)
+	if big.Height() < 3 {
+		t.Fatalf("100k-key tree height = %d, want >= 3", big.Height())
+	}
+	if len(big.Targets()) != 2 {
+		t.Fatal("Targets accessor wrong")
+	}
+}
+
+func TestSpecCacheEviction(t *testing.T) {
+	cl := newCluster(t)
+	tree := BulkLoad(cl.Targets(), seqKeys(100), 0.7)
+	c := NewClient(tree, cl.Eng, true)
+	c.SetSpecCacheEntries(4)
+	for k := uint64(0); k < 10; k++ {
+		c.specPut(k, specEntry{leaf: 1, slot: int(k)})
+	}
+	if len(c.spec) > 4 {
+		t.Fatalf("cache grew to %d with cap 4", len(c.spec))
+	}
+	// Re-putting an existing key must not evict.
+	before := len(c.spec)
+	for i := 0; i < 5; i++ {
+		c.specPut(9, specEntry{leaf: 1, slot: 9})
+	}
+	if len(c.spec) != before {
+		t.Fatal("duplicate puts changed occupancy")
+	}
+}

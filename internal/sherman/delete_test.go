@@ -1,0 +1,83 @@
+package sherman
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestDeleteRemovesKey(t *testing.T) {
+	cl := newCluster(t)
+	tree := BulkLoad(cl.Targets(), seqKeys(1000), 0.7)
+	client := NewClient(tree, cl.Eng, true)
+	runClient(t, cl, func(c *core.Ctx) {
+		client.LookupSpec(c, 500) // warm the spec cache
+		if !client.Delete(c, 500) {
+			t.Error("delete of present key failed")
+		}
+		if _, ok := client.Lookup(c, 500); ok {
+			t.Error("key still visible after delete")
+		}
+		if _, ok := client.LookupSpec(c, 500); ok {
+			t.Error("spec path resurrects deleted key")
+		}
+		if client.Delete(c, 500) {
+			t.Error("second delete reported success")
+		}
+		// Neighbours intact.
+		if v, ok := client.Lookup(c, 499); !ok || v != 499 {
+			t.Errorf("neighbour 499 = %d,%v", v, ok)
+		}
+		if v, ok := client.Lookup(c, 501); !ok || v != 501 {
+			t.Errorf("neighbour 501 = %d,%v", v, ok)
+		}
+	})
+	if _, ok := tree.GetDirect(500); ok {
+		t.Fatal("direct view still has the key")
+	}
+}
+
+func TestDeleteThenScan(t *testing.T) {
+	cl := newCluster(t)
+	tree := BulkLoad(cl.Targets(), seqKeys(200), 0.7)
+	client := NewClient(tree, cl.Eng, false)
+	runClient(t, cl, func(c *core.Ctx) {
+		for k := uint64(50); k <= 60; k++ {
+			client.Delete(c, k)
+		}
+		got := client.Scan(c, 45, 10)
+		want := []uint64{45, 46, 47, 48, 49, 61, 62, 63, 64, 65}
+		if len(got) != len(want) {
+			t.Fatalf("scan len = %d", len(got))
+		}
+		for i := range want {
+			if got[i].Key != want[i] {
+				t.Fatalf("scan[%d] = %d, want %d", i, got[i].Key, want[i])
+			}
+		}
+	})
+}
+
+func TestDeleteThenReinsert(t *testing.T) {
+	cl := newCluster(t)
+	tree := BulkLoad(cl.Targets(), seqKeys(100), 0.7)
+	client := NewClient(tree, cl.Eng, false)
+	runClient(t, cl, func(c *core.Ctx) {
+		client.Delete(c, 42)
+		client.Update(c, 42, 4242)
+		if v, ok := client.Lookup(c, 42); !ok || v != 4242 {
+			t.Errorf("reinserted key = %d,%v", v, ok)
+		}
+	})
+}
+
+func TestDeleteAbsentKeyInRange(t *testing.T) {
+	cl := newCluster(t)
+	tree := BulkLoad(cl.Targets(), []uint64{10, 20, 30}, 0.7)
+	client := NewClient(tree, cl.Eng, false)
+	runClient(t, cl, func(c *core.Ctx) {
+		if client.Delete(c, 15) {
+			t.Error("deleted a key that was never inserted")
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package sherman
+
+import (
+	"encoding/binary"
+
+	"repro/internal/core"
+)
+
+// KV is one key/value pair returned by Scan.
+type KV struct {
+	Key, Val uint64
+}
+
+// Scan returns up to max entries with key >= from, in ascending key
+// order, following the leaf chain's right-sibling pointers — the range
+// query that motivates tree indexes over hash tables (§7 of the SMART
+// paper, and Sherman's headline feature). Each visited leaf costs one
+// 1 KiB READ.
+func (cl *Client) Scan(c *core.Ctx, from uint64, max int) []KV {
+	if max <= 0 {
+		return nil
+	}
+	c.BeginOp()
+	defer c.EndOp()
+
+	var out []KV
+	var leaf uint64
+	for {
+		_, l, ok := cl.walkPath(from)
+		if !ok {
+			cl.refreshPath(c, from)
+			continue
+		}
+		leaf = l
+		break
+	}
+	for leaf != 0 && len(out) < max {
+		v := cl.readLeaf(c, leaf)
+		if len(out) == 0 && !v.covers(from) {
+			// Stale index cache: restart from a refreshed path.
+			cl.refreshPath(c, from)
+			ok := false
+			_, leaf, ok = cl.walkPath(from)
+			if !ok {
+				continue
+			}
+			continue
+		}
+		n := v.n()
+		start, _ := v.search(from)
+		if len(out) > 0 {
+			start = 0 // continuation leaves are consumed fully
+		}
+		for i := start; i < n && len(out) < max; i++ {
+			out = append(out, KV{Key: v.key(i), Val: v.val(i)})
+		}
+		leaf = binary.LittleEndian.Uint64(v.raw[leafRightOff : leafRightOff+8])
+	}
+	return out
+}

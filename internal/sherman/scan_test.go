@@ -1,0 +1,98 @@
+package sherman
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestScanAscendingAcrossLeaves(t *testing.T) {
+	cl := newCluster(t)
+	tree := BulkLoad(cl.Targets(), seqKeys(5000), 0.7)
+	client := NewClient(tree, cl.Eng, false)
+	runClient(t, cl, func(c *core.Ctx) {
+		got := client.Scan(c, 100, 500)
+		if len(got) != 500 {
+			t.Errorf("Scan returned %d entries, want 500", len(got))
+			return
+		}
+		for i, kv := range got {
+			if kv.Key != uint64(100+i) {
+				t.Errorf("entry %d = key %d, want %d", i, kv.Key, 100+i)
+				return
+			}
+			if kv.Val != kv.Key {
+				t.Errorf("key %d has value %d", kv.Key, kv.Val)
+				return
+			}
+		}
+	})
+}
+
+func TestScanStopsAtEnd(t *testing.T) {
+	cl := newCluster(t)
+	tree := BulkLoad(cl.Targets(), seqKeys(100), 0.7)
+	client := NewClient(tree, cl.Eng, false)
+	runClient(t, cl, func(c *core.Ctx) {
+		got := client.Scan(c, 95, 50)
+		if len(got) != 6 { // keys 95..100
+			t.Errorf("Scan past end returned %d entries, want 6", len(got))
+		}
+		if got := client.Scan(c, 1000, 10); len(got) != 0 {
+			t.Errorf("Scan beyond max key returned %d entries", len(got))
+		}
+	})
+}
+
+func TestScanFromMissingKeyStartsAtSuccessor(t *testing.T) {
+	cl := newCluster(t)
+	keys := []uint64{10, 20, 30, 40, 50}
+	tree := BulkLoad(cl.Targets(), keys, 0.7)
+	client := NewClient(tree, cl.Eng, false)
+	runClient(t, cl, func(c *core.Ctx) {
+		got := client.Scan(c, 25, 3)
+		want := []uint64{30, 40, 50}
+		if len(got) != len(want) {
+			t.Errorf("got %d entries", len(got))
+			return
+		}
+		for i := range want {
+			if got[i].Key != want[i] {
+				t.Errorf("entry %d = %d, want %d", i, got[i].Key, want[i])
+			}
+		}
+	})
+}
+
+func TestScanZeroMax(t *testing.T) {
+	cl := newCluster(t)
+	tree := BulkLoad(cl.Targets(), seqKeys(10), 0.7)
+	client := NewClient(tree, cl.Eng, false)
+	runClient(t, cl, func(c *core.Ctx) {
+		if got := client.Scan(c, 1, 0); got != nil {
+			t.Errorf("Scan max=0 = %v", got)
+		}
+	})
+}
+
+func TestScanSeesInsertedKeys(t *testing.T) {
+	cl := newCluster(t)
+	tree := BulkLoad(cl.Targets(), seqKeys(64), 1.0)
+	client := NewClient(tree, cl.Eng, false)
+	runClient(t, cl, func(c *core.Ctx) {
+		for i := uint64(200); i < 400; i += 2 {
+			client.Update(c, i, i)
+		}
+		got := client.Scan(c, 200, 100)
+		if len(got) != 100 {
+			t.Errorf("scan after inserts: %d entries", len(got))
+			return
+		}
+		for i, kv := range got {
+			if kv.Key != uint64(200+2*i) {
+				t.Errorf("entry %d = %d, want %d (splits broke leaf chain?)", i, kv.Key, 200+2*i)
+				return
+			}
+		}
+	})
+}

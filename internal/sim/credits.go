@@ -1,0 +1,76 @@
+package sim
+
+// Credits is a counting semaphore whose balance may be adjusted (even
+// below zero) at runtime. It models SMART's credit-based work-request
+// throttling (Algorithm 1): posting a batch of size n acquires n
+// credits, completion replenishes them, and the epoch tuner moves the
+// ceiling by adding a (possibly negative) delta.
+type Credits struct {
+	eng   *Engine
+	avail int64
+	q     []creditWaiter
+
+	// Waits counts Acquire calls that had to block.
+	Waits uint64
+}
+
+type creditWaiter struct {
+	p *Proc
+	n int64
+}
+
+// NewCredits returns a credit pool with the given initial balance.
+func NewCredits(e *Engine, initial int64) *Credits {
+	return &Credits{eng: e, avail: initial}
+}
+
+// Available returns the current balance, which may be negative after a
+// downward Add.
+func (c *Credits) Available() int64 { return c.avail }
+
+// Waiters returns the number of blocked acquirers.
+func (c *Credits) Waiters() int { return len(c.q) }
+
+// Acquire takes n credits, parking p until the balance allows it.
+// Waiters are served strictly in FIFO order so a large request cannot
+// be starved by a stream of small ones.
+func (c *Credits) Acquire(p *Proc, n int64) {
+	if n < 0 {
+		panic("sim: negative credit acquire")
+	}
+	if len(c.q) == 0 && c.avail >= n {
+		c.avail -= n
+		return
+	}
+	c.Waits++
+	c.q = append(c.q, creditWaiter{p: p, n: n})
+	p.Suspend()
+	// Release/Add already debited our credits before waking us.
+}
+
+// Release returns n credits and wakes any waiters the new balance can
+// satisfy.
+func (c *Credits) Release(n int64) {
+	if n < 0 {
+		panic("sim: negative credit release")
+	}
+	c.avail += n
+	c.drain()
+}
+
+// Add adjusts the balance by delta (which may be negative) and wakes
+// newly satisfiable waiters.
+func (c *Credits) Add(delta int64) {
+	c.avail += delta
+	c.drain()
+}
+
+func (c *Credits) drain() {
+	for len(c.q) > 0 && c.avail >= c.q[0].n {
+		w := c.q[0]
+		copy(c.q, c.q[1:])
+		c.q = c.q[:len(c.q)-1]
+		c.avail -= w.n
+		w.p.Wake()
+	}
+}

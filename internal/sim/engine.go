@@ -1,0 +1,171 @@
+// Package sim implements the discrete-event simulation kernel that the
+// whole reproduction runs on. It provides a virtual clock, an event
+// queue, goroutine-backed simulated processes (used for compute-blade
+// threads and coroutines), and FCFS synchronization primitives with
+// waiter accounting (used to model driver spinlocks, credits, and
+// completion queues).
+//
+// The engine is strictly single-threaded: at any instant either the
+// event loop or exactly one simulated process is running. Processes
+// hand control back to the engine whenever they sleep or block, so no
+// further synchronization is needed inside models built on top of the
+// kernel, and runs are fully deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in nanoseconds.
+type Time int64
+
+// Convenient duration units, all expressed in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// event is a scheduled callback. Events with equal timestamps fire in
+// scheduling order (seq breaks ties), which keeps runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct one with New.
+type Engine struct {
+	now      Time
+	heap     eventHeap
+	seq      uint64
+	rng      *rand.Rand
+	shutdown chan struct{}
+	stopped  bool
+	procs    int // live (started, not finished) processes, for diagnostics
+}
+
+// New returns an engine whose clock starts at zero and whose random
+// stream is seeded with seed. Equal seeds give identical runs.
+func New(seed int64) *Engine {
+	return &Engine{
+		rng:      rand.New(rand.NewSource(seed)),
+		shutdown: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random stream. It must only
+// be used from engine context (event callbacks and processes).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Procs reports the number of live simulated processes.
+func (e *Engine) Procs() int { return e.procs }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Schedule queues fn to run after delay. A negative delay is treated
+// as zero. Must be called from engine context.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt queues fn to run at the absolute virtual time at. Times in
+// the past are clamped to now.
+func (e *Engine) ScheduleAt(at Time, fn func()) {
+	if e.stopped {
+		return
+	}
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.heap, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// Run executes events in timestamp order until the queue drains or the
+// clock passes until (if until > 0). It returns the virtual time at
+// which it stopped.
+func (e *Engine) Run(until Time) Time {
+	for len(e.heap) > 0 {
+		ev := e.heap[0]
+		if until > 0 && ev.at > until {
+			e.now = until
+			return e.now
+		}
+		heap.Pop(&e.heap)
+		e.now = ev.at
+		ev.fn()
+	}
+	if until > e.now {
+		e.now = until
+	}
+	return e.now
+}
+
+// Step executes the single next event, if any, and reports whether one
+// was executed. It is mostly useful in tests.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Stop terminates the simulation: all parked processes are unwound and
+// their goroutines exit. After Stop the engine must not be reused.
+// Stop is idempotent.
+func (e *Engine) Stop() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	e.heap = nil
+	close(e.shutdown)
+}

@@ -1,0 +1,103 @@
+package sim
+
+import "testing"
+
+func TestPendingCount(t *testing.T) {
+	e := New(1)
+	if e.Pending() != 0 {
+		t.Fatal("fresh engine has pending events")
+	}
+	e.Schedule(10, func() {})
+	e.Schedule(20, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	e.Run(0)
+	if e.Pending() != 0 {
+		t.Fatal("events left after run")
+	}
+}
+
+func TestStopIdempotentAndDropsEvents(t *testing.T) {
+	e := New(1)
+	fired := false
+	e.Schedule(5, func() { fired = true })
+	e.Stop()
+	e.Stop() // must not panic
+	e.Run(0)
+	if fired {
+		t.Fatal("event fired after Stop")
+	}
+	// Scheduling after Stop is a no-op.
+	e.Schedule(1, func() { fired = true })
+	e.Run(0)
+	if fired {
+		t.Fatal("post-Stop schedule fired")
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 50; i++ {
+		if a.Rand().Uint64() != b.Rand().Uint64() {
+			t.Fatal("same-seed engines produce different randomness")
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New(1)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.Schedule(1, recurse)
+		}
+	}
+	e.Schedule(0, recurse)
+	e.Run(0)
+	if depth != 100 {
+		t.Fatalf("depth = %d", depth)
+	}
+	if e.Now() != 99 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestManyProcsInterleaveFairly(t *testing.T) {
+	e := New(1)
+	defer e.Stop()
+	const n = 200
+	finished := 0
+	for i := 0; i < n; i++ {
+		e.Go("p", func(p *Proc) {
+			for j := 0; j < 10; j++ {
+				p.Sleep(Time(1 + j))
+			}
+			finished++
+		})
+	}
+	e.Run(0)
+	if finished != n {
+		t.Fatalf("finished = %d/%d", finished, n)
+	}
+}
+
+func TestServerManyJobsOrder(t *testing.T) {
+	e := New(1)
+	s := NewServer(e)
+	var order []int
+	e.Schedule(0, func() {
+		for i := 0; i < 50; i++ {
+			i := i
+			s.Submit(Time(i%3+1), func() { order = append(order, i) })
+		}
+	})
+	e.Run(0)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("FIFO violated at %d: %v", i, order[:i+1])
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package sim
+
+// Proc is a simulated process: a goroutine that runs in lockstep with
+// the engine. Exactly one of {engine, some process} executes at a time.
+// Compute-blade threads and SMART coroutines are both modeled as Procs.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{} // engine -> process: continue running
+	yield  chan struct{} // process -> engine: I have parked or finished
+	done   bool
+}
+
+// killProc is panicked inside a parked process when the engine shuts
+// down, unwinding the goroutine so long-lived simulations do not leak.
+type killProc struct{}
+
+// Go spawns a simulated process that begins executing at the current
+// virtual time (after already-queued events at this timestamp). The
+// body runs entirely in virtual time; it must block only through Proc
+// methods or the sim synchronization primitives.
+func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs++
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killProc); ok {
+					return // engine shut down; exit quietly
+				}
+				panic(r)
+			}
+		}()
+		p.block() // wait for first activation
+		body(p)
+		p.done = true
+		p.eng.procs--
+		p.yield <- struct{}{} // final handoff back to the engine
+	}()
+	e.Schedule(0, func() { p.activate() })
+	return p
+}
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// activate resumes the process and waits for it to park again. It must
+// be called from engine context (an event callback).
+func (p *Proc) activate() {
+	if p.done {
+		return // spurious wake after the process finished
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// block waits for the engine to hand control to this process. Called
+// from the process's own goroutine.
+func (p *Proc) block() {
+	select {
+	case <-p.resume:
+	case <-p.eng.shutdown:
+		panic(killProc{})
+	}
+}
+
+// park hands control back to the engine and waits to be activated
+// again. Whoever wants to wake the process must have arranged an
+// activation (event or queue signal) before the park, or must do so
+// from engine context later.
+func (p *Proc) park() {
+	p.yield <- struct{}{}
+	p.block()
+}
+
+// Sleep suspends the process for d of virtual time. Zero and negative
+// durations still yield to the engine, re-running the process after
+// all events at the current timestamp.
+func (p *Proc) Sleep(d Time) {
+	p.eng.Schedule(d, func() { p.activate() })
+	p.park()
+}
+
+// Suspend parks the process until another component calls Wake. It is
+// the building block for condition-style waiting.
+func (p *Proc) Suspend() {
+	p.park()
+}
+
+// Wake schedules the process to resume at the current virtual time.
+// Must be called from engine context and only for a process that is
+// currently suspended (or about to suspend at this timestamp); the
+// engine's run-to-completion semantics make the pairing safe as long
+// as the waker arranged the suspension.
+func (p *Proc) Wake() {
+	p.eng.Schedule(0, func() { p.activate() })
+}

@@ -1,0 +1,114 @@
+package sim
+
+import "testing"
+
+func TestProcSleep(t *testing.T) {
+	e := New(1)
+	defer e.Stop()
+	var at []Time
+	e.Go("p", func(p *Proc) {
+		at = append(at, p.Now())
+		p.Sleep(100)
+		at = append(at, p.Now())
+		p.Sleep(50)
+		at = append(at, p.Now())
+	})
+	e.Run(0)
+	want := []Time{0, 100, 150}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("wake times = %v, want %v", at, want)
+		}
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	e := New(1)
+	defer e.Stop()
+	var order []string
+	e.Go("a", func(p *Proc) {
+		order = append(order, "a0")
+		p.Sleep(10)
+		order = append(order, "a1")
+	})
+	e.Go("b", func(p *Proc) {
+		order = append(order, "b0")
+		p.Sleep(5)
+		order = append(order, "b1")
+	})
+	e.Run(0)
+	want := []string{"a0", "b0", "b1", "a1"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestProcDoneAndCount(t *testing.T) {
+	e := New(1)
+	defer e.Stop()
+	p := e.Go("p", func(p *Proc) { p.Sleep(1) })
+	if e.Procs() != 1 {
+		t.Fatalf("Procs = %d, want 1", e.Procs())
+	}
+	e.Run(0)
+	if !p.Done() {
+		t.Fatal("process not done after run")
+	}
+	if e.Procs() != 0 {
+		t.Fatalf("Procs = %d, want 0 after completion", e.Procs())
+	}
+}
+
+func TestSuspendWake(t *testing.T) {
+	e := New(1)
+	defer e.Stop()
+	var woke Time
+	p := e.Go("sleeper", func(p *Proc) {
+		p.Suspend()
+		woke = p.Now()
+	})
+	e.Go("waker", func(q *Proc) {
+		q.Sleep(40)
+		p.Wake()
+	})
+	e.Run(0)
+	if woke != 40 {
+		t.Fatalf("woke at %v, want 40", woke)
+	}
+}
+
+func TestWakeAfterDoneIsIgnored(t *testing.T) {
+	e := New(1)
+	defer e.Stop()
+	p := e.Go("quick", func(p *Proc) {})
+	e.Go("late", func(q *Proc) {
+		q.Sleep(10)
+		p.Wake() // must not deadlock
+	})
+	e.Run(0)
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v, want 10", e.Now())
+	}
+}
+
+func TestStopUnwindsParkedProcs(t *testing.T) {
+	e := New(1)
+	e.Go("stuck", func(p *Proc) { p.Suspend() })
+	e.Run(0)
+	e.Stop() // must not hang or panic; the goroutine unwinds
+}
+
+func TestProcName(t *testing.T) {
+	e := New(1)
+	defer e.Stop()
+	p := e.Go("worker-3", func(p *Proc) {})
+	if p.Name() != "worker-3" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	if p.Engine() != e {
+		t.Fatal("Engine() mismatch")
+	}
+	e.Run(0)
+}

@@ -1,0 +1,47 @@
+package sim
+
+// WaitQueue parks processes until another component signals them. It
+// is the condition-variable analogue used to model completion-queue
+// waiting: a process calls Wait after checking its predicate, and the
+// component that makes the predicate true calls Broadcast (or Signal).
+//
+// Because the engine is single-threaded there are no lost wakeups as
+// long as the predicate is re-checked after Wait returns; signalling
+// between the check and the park is impossible.
+type WaitQueue struct {
+	eng *Engine
+	q   []*Proc
+}
+
+// NewWaitQueue returns an empty queue bound to e.
+func NewWaitQueue(e *Engine) *WaitQueue { return &WaitQueue{eng: e} }
+
+// Wait parks p until a Signal or Broadcast wakes it.
+func (w *WaitQueue) Wait(p *Proc) {
+	w.q = append(w.q, p)
+	p.Suspend()
+}
+
+// Signal wakes the oldest waiter, if any, and reports whether one was
+// woken.
+func (w *WaitQueue) Signal() bool {
+	if len(w.q) == 0 {
+		return false
+	}
+	p := w.q[0]
+	copy(w.q, w.q[1:])
+	w.q = w.q[:len(w.q)-1]
+	p.Wake()
+	return true
+}
+
+// Broadcast wakes every waiter.
+func (w *WaitQueue) Broadcast() {
+	for _, p := range w.q {
+		p.Wake()
+	}
+	w.q = w.q[:0]
+}
+
+// Len returns the number of parked processes.
+func (w *WaitQueue) Len() int { return len(w.q) }

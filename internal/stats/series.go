@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Series is a windowed time series of counts: events are recorded with
+// their virtual timestamp and bucketed into fixed windows, giving
+// throughput-over-time traces (used to inspect the Table 1 oscillation
+// and the C_max tuner's update phases).
+type Series struct {
+	window sim.Time
+	counts []uint64
+}
+
+// NewSeries returns a series with the given window width.
+func NewSeries(window sim.Time) *Series {
+	if window <= 0 {
+		panic("stats: series window must be positive")
+	}
+	return &Series{window: window}
+}
+
+// Window returns the bucket width.
+func (s *Series) Window() sim.Time { return s.window }
+
+// Add records n events at virtual time at.
+func (s *Series) Add(at sim.Time, n uint64) {
+	idx := int(at / s.window)
+	for len(s.counts) <= idx {
+		s.counts = append(s.counts, 0)
+	}
+	s.counts[idx] += n
+}
+
+// Buckets returns a copy of the per-window counts.
+func (s *Series) Buckets() []uint64 {
+	out := make([]uint64, len(s.counts))
+	copy(out, s.counts)
+	return out
+}
+
+// Rate returns bucket i's count as events per microsecond.
+func (s *Series) Rate(i int) float64 {
+	if i < 0 || i >= len(s.counts) {
+		return 0
+	}
+	return float64(s.counts[i]) / (float64(s.window) / 1e3)
+}
+
+// MinMaxRate returns the lowest and highest window rates, ignoring the
+// (possibly partial) last bucket.
+func (s *Series) MinMaxRate() (min, max float64) {
+	n := len(s.counts) - 1
+	if n <= 0 {
+		return 0, 0
+	}
+	min = s.Rate(0)
+	for i := 0; i < n; i++ {
+		r := s.Rate(i)
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	return min, max
+}
+
+// Sparkline renders the series as a compact ASCII trace, useful in
+// experiment output.
+func (s *Series) Sparkline() string {
+	if len(s.counts) == 0 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	var peak uint64
+	for _, c := range s.counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak == 0 {
+		return strings.Repeat("▁", len(s.counts))
+	}
+	var b strings.Builder
+	for _, c := range s.counts {
+		i := int(uint64(len(glyphs)-1) * c / peak)
+		b.WriteRune(glyphs[i])
+	}
+	return b.String()
+}
+
+// String summarizes the series.
+func (s *Series) String() string {
+	min, max := s.MinMaxRate()
+	return fmt.Sprintf("%d windows x %v, rate %.1f..%.1f /us", len(s.counts), s.window, min, max)
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSeriesBucketing(t *testing.T) {
+	s := NewSeries(100)
+	s.Add(0, 1)
+	s.Add(99, 2)
+	s.Add(100, 5)
+	s.Add(250, 7)
+	got := s.Buckets()
+	want := []uint64{3, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSeriesRate(t *testing.T) {
+	s := NewSeries(sim.Millisecond)
+	s.Add(0, 5000)
+	if r := s.Rate(0); r != 5 {
+		t.Fatalf("Rate = %v, want 5/us", r)
+	}
+	if r := s.Rate(99); r != 0 {
+		t.Fatalf("out-of-range Rate = %v", r)
+	}
+}
+
+func TestSeriesMinMaxIgnoresPartialTail(t *testing.T) {
+	s := NewSeries(100)
+	s.Add(50, 10)
+	s.Add(150, 20)
+	s.Add(250, 1) // partial tail bucket, ignored
+	// 10 events per 100 ns window = 100 events/us.
+	min, max := s.MinMaxRate()
+	if min != 100 || max != 200 {
+		t.Fatalf("min/max = %v/%v", min, max)
+	}
+}
+
+func TestSeriesSparkline(t *testing.T) {
+	s := NewSeries(10)
+	s.Add(5, 1)
+	s.Add(15, 8)
+	line := s.Sparkline()
+	if len([]rune(line)) != 2 {
+		t.Fatalf("sparkline = %q", line)
+	}
+	if !strings.Contains(s.String(), "windows") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries(10)
+	if s.Sparkline() != "" {
+		t.Fatal("nonempty sparkline for empty series")
+	}
+	min, max := s.MinMaxRate()
+	if min != 0 || max != 0 {
+		t.Fatal("nonzero rates for empty series")
+	}
+	if s.Window() != 10 {
+		t.Fatal("window accessor wrong")
+	}
+}
+
+func TestSeriesBadWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSeries(0)
+}

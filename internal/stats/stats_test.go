@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestHistEmpty(t *testing.T) {
+	h := NewHist()
+	if h.Count() != 0 || h.Mean() != 0 || h.Median() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestHistBasicStats(t *testing.T) {
+	h := NewHist()
+	for _, v := range []sim.Time{100, 200, 300, 400} {
+		h.Add(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 250 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 100 || h.Max() != 400 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistQuantileAccuracy(t *testing.T) {
+	h := NewHist()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		h.Add(sim.Time(rng.Intn(100000)) + 1)
+	}
+	med := float64(h.Median())
+	if med < 45000 || med > 56000 {
+		t.Fatalf("median of U[1,100000] = %v, want ≈50000 within bucket error", med)
+	}
+	p99 := float64(h.P99())
+	if p99 < 93000 || p99 > 107000 {
+		t.Fatalf("p99 = %v, want ≈99000 within bucket error", p99)
+	}
+}
+
+func TestHistQuantileEdges(t *testing.T) {
+	h := NewHist()
+	h.Add(500)
+	h.Add(1000)
+	if h.Quantile(0) != 500 {
+		t.Fatalf("Q(0) = %v", h.Quantile(0))
+	}
+	if h.Quantile(1) != 1000 {
+		t.Fatalf("Q(1) = %v", h.Quantile(1))
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by [min, max].
+func TestHistQuantileMonotoneProperty(t *testing.T) {
+	f := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHist()
+		for _, v := range vals {
+			h.Add(sim.Time(v%1000000) + 1)
+		}
+		last := sim.Time(0)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < last || v < h.Min() || v > h.Max() {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistResetAndMerge(t *testing.T) {
+	a, b := NewHist(), NewHist()
+	a.Add(100)
+	b.Add(300)
+	b.Add(500)
+	a.Merge(b)
+	if a.Count() != 3 || a.Min() != 100 || a.Max() != 500 {
+		t.Fatalf("after merge: count=%d min=%v max=%v", a.Count(), a.Min(), a.Max())
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Max() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	a.Add(7)
+	if a.Min() != 7 {
+		t.Fatal("min wrong after reset")
+	}
+}
+
+func TestCountDist(t *testing.T) {
+	d := NewCountDist()
+	for _, v := range []int{0, 0, 0, 1, 1, 4, -3} {
+		d.Add(v)
+	}
+	if d.Total() != 7 {
+		t.Fatalf("Total = %d", d.Total())
+	}
+	if got := d.Frac(0); got < 0.57 || got > 0.58 { // 4/7 (the -3 clamps to 0)
+		t.Fatalf("Frac(0) = %v", got)
+	}
+	if got := d.FracAtLeast(1); got < 0.42 || got > 0.43 {
+		t.Fatalf("FracAtLeast(1) = %v", got)
+	}
+	if got := d.Mean(); got < 0.85 || got > 0.86 { // (1+1+4)/7
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestCountDistMergeAndString(t *testing.T) {
+	a, b := NewCountDist(), NewCountDist()
+	a.Add(0)
+	b.Add(2)
+	b.Add(2)
+	a.Merge(b)
+	if a.Total() != 3 || a.Frac(2) < 0.6 {
+		t.Fatalf("merge wrong: total=%d frac2=%v", a.Total(), a.Frac(2))
+	}
+	s := a.String()
+	if !strings.Contains(s, "0:") || !strings.Contains(s, "2:") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestCountDistEmpty(t *testing.T) {
+	d := NewCountDist()
+	if d.Mean() != 0 || d.Frac(1) != 0 || d.FracAtLeast(0) != 0 {
+		t.Fatal("empty dist must report zeros")
+	}
+}

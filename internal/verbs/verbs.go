@@ -1,0 +1,334 @@
+// Package verbs provides an ibverbs-like programming interface over
+// the simulated RNIC: device contexts, completion queues, reliably
+// connected queue pairs, and one-sided work requests (READ, WRITE,
+// CAS, FAA).
+//
+// It also reproduces the two driver-level behaviours the SMART paper
+// builds on (§2.2, §3.1):
+//
+//   - Doorbell registers are allocated per device context (4
+//     low-latency + 12 medium-latency by default, raisable with the
+//     equivalent of MLX5_TOTAL_UUARS), each newly created QP is
+//     associated with a medium-latency doorbell in round-robin order,
+//     and every update to a doorbell is protected by a driver spinlock
+//     — so threads whose QPs implicitly share a doorbell contend even
+//     though they never share a QP.
+//
+//   - Access to a QP itself is serialized by a userspace lock, which
+//     is what makes shared/multiplexed QP policies slow.
+package verbs
+
+import (
+	"fmt"
+
+	"repro/internal/blade"
+	"repro/internal/rnic"
+	"repro/internal/sim"
+)
+
+// Target identifies a remote memory blade as seen by a queue pair: the
+// blade's memory and the RNIC that fronts it.
+type Target struct {
+	NIC *rnic.RNIC
+	Mem *blade.Blade
+}
+
+// Doorbell is one doorbell register in the device's user access
+// region. Ringing it requires the driver spinlock; the hold time grows
+// with the number of spinning waiters (cache-line bouncing), which is
+// the §3.1 scale-up bottleneck.
+type Doorbell struct {
+	Index int
+	mu    *sim.Mutex
+	p     *rnic.Params
+
+	Rings uint64
+}
+
+// Ring posts one work request's doorbell update: it takes the
+// spinlock, holds it for the MMIO write (inflated by present waiters),
+// and releases it. Called with the QP lock held, as in mlx5.
+func (d *Doorbell) Ring(p *sim.Proc) {
+	d.mu.Lock(p)
+	waiters := d.mu.Waiters()
+	hold := d.p.DBHold + sim.Time(waiters)*d.p.DBBouncePerWaiter
+	p.Sleep(hold)
+	d.Rings++
+	d.mu.Unlock()
+}
+
+// Waiters reports the number of threads currently queued on the
+// doorbell spinlock (diagnostic).
+func (d *Doorbell) Waiters() int { return d.mu.Waiters() }
+
+// Context is an open device context. Doorbell registers belong to the
+// context; queue pairs created on the context are bound to its
+// medium-latency doorbells in round-robin creation order.
+type Context struct {
+	nic    *rnic.RNIC
+	eng    *sim.Engine
+	medium []*Doorbell
+	qps    int // QPs created so far (round-robin cursor)
+}
+
+// Open opens a device context on the card. Each additional context
+// increases MTT/MPT pressure on the card (see rnic.Params).
+func Open(nic *rnic.RNIC) *Context {
+	c := &Context{nic: nic, eng: nic.Engine()}
+	nic.AddContext()
+	c.setMedium(nic.P.DefaultMediumDBs)
+	return c
+}
+
+func (c *Context) setMedium(n int) {
+	c.medium = make([]*Doorbell, n)
+	for i := range c.medium {
+		c.medium[i] = &Doorbell{Index: i, mu: sim.NewMutex(c.eng), p: &c.nic.P}
+	}
+}
+
+// SetMediumDoorbells resizes the context's medium-latency doorbell
+// set, modelling MLX5_TOTAL_UUARS plus the driver patch the paper
+// describes. It must be called before any QP is created and cannot
+// exceed the hardware limit.
+func (c *Context) SetMediumDoorbells(n int) error {
+	if c.qps > 0 {
+		return fmt.Errorf("verbs: doorbells must be configured before QP creation")
+	}
+	if n < 1 || n > c.nic.P.MaxDoorbells {
+		return fmt.Errorf("verbs: %d doorbells out of range [1,%d]", n, c.nic.P.MaxDoorbells)
+	}
+	c.setMedium(n)
+	return nil
+}
+
+// MediumDoorbells returns the number of medium-latency doorbells.
+func (c *Context) MediumDoorbells() int { return len(c.medium) }
+
+// NextDoorbell returns the index of the doorbell the next created QP
+// will be bound to. The mapping is not controllable through the API —
+// only deterministic — which is exactly the property SMART exploits by
+// ordering QP creation (§4.1).
+func (c *Context) NextDoorbell() int { return c.qps % len(c.medium) }
+
+// NIC returns the underlying card.
+func (c *Context) NIC() *rnic.RNIC { return c.nic }
+
+// CQE is a completion queue entry.
+type CQE struct {
+	WR *WR
+}
+
+// cqWaiter is a parked consumer waiting for need entries.
+type cqWaiter struct {
+	p    *sim.Proc
+	need int
+}
+
+// CQ is a completion queue. Completion entries are delivered by the
+// card model; consumers either Poll (non-blocking) or block in WaitN /
+// WaitAny. Work requests with an OnComplete callback bypass the entry
+// buffer entirely — that is how SMART's per-thread poller coroutine is
+// modeled (the framework routes each completion straight to the
+// owning coroutine).
+type CQ struct {
+	eng     *sim.Engine
+	entries []CQE
+	waiters []cqWaiter
+
+	Delivered uint64
+}
+
+// CreateCQ returns an empty completion queue on the context.
+func (c *Context) CreateCQ() *CQ {
+	return &CQ{eng: c.eng}
+}
+
+func (q *CQ) push(e CQE) {
+	q.Delivered++
+	if e.WR.OnComplete != nil {
+		e.WR.OnComplete(e.WR)
+		return
+	}
+	q.entries = append(q.entries, e)
+	q.kick()
+}
+
+// kick wakes the front waiter if its demand is satisfiable. Waiters
+// are served FCFS; the woken waiter re-kicks after draining.
+func (q *CQ) kick() {
+	if len(q.waiters) > 0 && len(q.entries) >= q.waiters[0].need {
+		w := q.waiters[0]
+		copy(q.waiters, q.waiters[1:])
+		q.waiters = q.waiters[:len(q.waiters)-1]
+		w.p.Wake()
+	}
+}
+
+// Poll drains up to max entries without blocking. max <= 0 drains all.
+func (q *CQ) Poll(max int) []CQE {
+	n := len(q.entries)
+	if max > 0 && max < n {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]CQE, n)
+	copy(out, q.entries[:n])
+	q.entries = q.entries[:copy(q.entries, q.entries[n:])]
+	return out
+}
+
+// Len returns the number of undrained entries.
+func (q *CQ) Len() int { return len(q.entries) }
+
+// WaitN blocks p until n entries are available, then drains and
+// returns exactly n.
+func (q *CQ) WaitN(p *sim.Proc, n int) []CQE {
+	for len(q.entries) < n {
+		q.waiters = append(q.waiters, cqWaiter{p: p, need: n})
+		p.Suspend()
+	}
+	out := q.Poll(n)
+	q.kick()
+	return out
+}
+
+// WaitAny blocks p until at least one entry is available and drains
+// everything present.
+func (q *CQ) WaitAny(p *sim.Proc) []CQE {
+	for len(q.entries) == 0 {
+		q.waiters = append(q.waiters, cqWaiter{p: p, need: 1})
+		p.Suspend()
+	}
+	out := q.Poll(0)
+	q.kick()
+	return out
+}
+
+// WR is a one-sided work request.
+type WR struct {
+	Kind   rnic.OpKind
+	Remote blade.Addr
+	Local  []byte // READ destination / WRITE source
+
+	Compare, Swap uint64 // CAS operands
+	Add           uint64 // FAA operand
+	Result        uint64 // previous remote value, for CAS/FAA
+
+	ID uint64 // caller-owned tag (SMART stores batch metadata here)
+
+	// OnComplete, when set, is invoked at completion time instead of
+	// buffering a CQE. SMART uses it to route completions to the
+	// posting coroutine and to replenish throttling credits.
+	OnComplete func(*WR)
+}
+
+// Read builds a READ work request fetching len(buf) bytes.
+func Read(remote blade.Addr, buf []byte) *WR {
+	return &WR{Kind: rnic.OpRead, Remote: remote, Local: buf}
+}
+
+// Write builds a WRITE work request storing src.
+func Write(remote blade.Addr, src []byte) *WR {
+	return &WR{Kind: rnic.OpWrite, Remote: remote, Local: src}
+}
+
+// CAS builds an 8-byte compare-and-swap work request.
+func CAS(remote blade.Addr, compare, swap uint64) *WR {
+	return &WR{Kind: rnic.OpCAS, Remote: remote, Compare: compare, Swap: swap}
+}
+
+// FAA builds an 8-byte fetch-and-add work request.
+func FAA(remote blade.Addr, add uint64) *WR {
+	return &WR{Kind: rnic.OpFAA, Remote: remote, Add: add}
+}
+
+// Succeeded reports whether a CAS work request swapped.
+func (w *WR) Succeeded() bool { return w.Kind == rnic.OpCAS && w.Result == w.Compare }
+
+func (w *WR) payload() int {
+	switch w.Kind {
+	case rnic.OpRead, rnic.OpWrite:
+		return len(w.Local)
+	default:
+		return 8
+	}
+}
+
+// QP is a reliably connected queue pair bound to one remote memory
+// blade. All of a QP's completions land on its CQ.
+type QP struct {
+	ctx    *Context
+	cq     *CQ
+	db     *Doorbell
+	remote Target
+	lock   *sim.Mutex // userspace QP lock (mlx5 sq.lock)
+
+	Posted uint64
+}
+
+// CreateQP creates a queue pair on the context, connected to remote,
+// completing into cq. The QP is bound to the next medium-latency
+// doorbell in round-robin order — the driver behaviour from Fig. 2.
+func (c *Context) CreateQP(cq *CQ, remote Target) *QP {
+	db := c.medium[c.qps%len(c.medium)]
+	c.qps++
+	return &QP{ctx: c, cq: cq, db: db, remote: remote, lock: sim.NewMutex(c.eng)}
+}
+
+// Doorbell returns the doorbell register the QP is bound to.
+func (q *QP) Doorbell() *Doorbell { return q.db }
+
+// Remote returns the blade the QP is connected to.
+func (q *QP) Remote() Target { return q.remote }
+
+// CQ returns the completion queue the QP reports into.
+func (q *QP) CQ() *CQ { return q.cq }
+
+// PostSend posts the work requests to the card. For each WR the
+// calling thread pays the userspace QP lock (contended when several
+// threads share the QP) and the doorbell ring (contended when several
+// threads' QPs share a doorbell register), then the WR travels through
+// the card model and eventually completes into the QP's CQ.
+func (q *QP) PostSend(p *sim.Proc, wrs ...*WR) {
+	par := &q.ctx.nic.P
+	for _, wr := range wrs {
+		if wr.Remote.Blade != q.remote.Mem.ID {
+			panic(fmt.Sprintf("verbs: WR for blade %d posted on QP connected to blade %d",
+				wr.Remote.Blade, q.remote.Mem.ID))
+		}
+		q.lock.Lock(p)
+		hold := par.QPLockHold + sim.Time(q.lock.Waiters())*par.QPBouncePerWaiter
+		p.Sleep(hold)
+		q.db.Ring(p)
+		q.lock.Unlock()
+		q.Posted++
+		q.launch(wr)
+	}
+}
+
+// launch hands the WR to the card model with memory-execution and
+// completion callbacks attached.
+func (q *QP) launch(wr *WR) {
+	mem := q.remote.Mem
+	op := &rnic.Op{
+		Kind:    wr.Kind,
+		Payload: wr.payload(),
+		Exec: func() {
+			switch wr.Kind {
+			case rnic.OpRead:
+				mem.ReadInto(wr.Remote.Offset, wr.Local)
+			case rnic.OpWrite:
+				mem.Write(wr.Remote.Offset, wr.Local)
+			case rnic.OpCAS:
+				wr.Result, _ = mem.CAS(wr.Remote.Offset, wr.Compare, wr.Swap)
+			case rnic.OpFAA:
+				wr.Result = mem.FAA(wr.Remote.Offset, wr.Add)
+			}
+		},
+		Complete: func() { q.cq.push(CQE{WR: wr}) },
+	}
+	q.ctx.nic.Submit(op, q.remote.NIC, mem.Kind)
+}

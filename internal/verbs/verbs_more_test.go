@@ -1,0 +1,177 @@
+package verbs
+
+import (
+	"testing"
+
+	"repro/internal/rnic"
+	"repro/internal/sim"
+)
+
+func TestOnCompleteBypassesEntries(t *testing.T) {
+	r := newRig(10)
+	defer r.eng.Stop()
+	addr := r.mem.Alloc(8)
+	fired := 0
+	r.eng.Go("client", func(p *sim.Proc) {
+		cq := r.ctx.CreateCQ()
+		qp := r.ctx.CreateQP(cq, r.tgt)
+		wr := Read(addr, make([]byte, 8))
+		wr.OnComplete = func(got *WR) {
+			if got != wr {
+				t.Error("callback got wrong WR")
+			}
+			fired++
+		}
+		qp.PostSend(p, wr)
+		p.Sleep(20 * sim.Microsecond)
+		if cq.Len() != 0 {
+			t.Errorf("CQ buffered %d entries despite OnComplete", cq.Len())
+		}
+		if cq.Delivered != 1 {
+			t.Errorf("Delivered = %d", cq.Delivered)
+		}
+	})
+	r.eng.Run(0)
+	if fired != 1 {
+		t.Fatalf("OnComplete fired %d times", fired)
+	}
+}
+
+func TestCQWaitersServedFCFSByNeed(t *testing.T) {
+	r := newRig(11)
+	defer r.eng.Stop()
+	addr := r.mem.Alloc(8)
+	cq := r.ctx.CreateCQ()
+	qp := r.ctx.CreateQP(cq, r.tgt)
+	var order []string
+	r.eng.Go("waiter-big", func(p *sim.Proc) {
+		cq.WaitN(p, 3)
+		order = append(order, "big")
+	})
+	r.eng.Go("waiter-small", func(p *sim.Proc) {
+		p.Sleep(1)
+		cq.WaitN(p, 1)
+		order = append(order, "small")
+	})
+	r.eng.Go("producer", func(p *sim.Proc) {
+		p.Sleep(10)
+		for i := 0; i < 4; i++ {
+			qp.PostSend(p, Read(addr, make([]byte, 8)))
+			p.Sleep(20 * sim.Microsecond)
+		}
+	})
+	r.eng.Run(0)
+	if len(order) != 2 || order[0] != "big" || order[1] != "small" {
+		t.Fatalf("order = %v: the front waiter must not be starved", order)
+	}
+}
+
+func TestQPOrderingPreserved(t *testing.T) {
+	// RC QPs execute work requests in post order; FAA results prove it.
+	r := newRig(12)
+	defer r.eng.Stop()
+	addr := r.mem.Alloc(8)
+	r.eng.Go("client", func(p *sim.Proc) {
+		cq := r.ctx.CreateCQ()
+		qp := r.ctx.CreateQP(cq, r.tgt)
+		var wrs []*WR
+		for i := 0; i < 5; i++ {
+			wrs = append(wrs, FAA(addr, 1))
+		}
+		qp.PostSend(p, wrs...)
+		cq.WaitN(p, 5)
+		for i, wr := range wrs {
+			if wr.Result != uint64(i) {
+				t.Errorf("FAA %d saw %d, want %d (ordering violated)", i, wr.Result, i)
+			}
+		}
+	})
+	r.eng.Run(0)
+}
+
+func TestPostedCounter(t *testing.T) {
+	r := newRig(13)
+	defer r.eng.Stop()
+	addr := r.mem.Alloc(8)
+	var qp *QP
+	r.eng.Go("client", func(p *sim.Proc) {
+		cq := r.ctx.CreateCQ()
+		qp = r.ctx.CreateQP(cq, r.tgt)
+		qp.PostSend(p, Read(addr, make([]byte, 8)), Read(addr, make([]byte, 8)))
+		cq.WaitN(p, 2)
+	})
+	r.eng.Run(0)
+	if qp.Posted != 2 {
+		t.Fatalf("Posted = %d", qp.Posted)
+	}
+	if qp.Remote().Mem != r.mem || qp.CQ() == nil {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestDoorbellRingsCounted(t *testing.T) {
+	r := newRig(14)
+	defer r.eng.Stop()
+	addr := r.mem.Alloc(8)
+	var db *Doorbell
+	r.eng.Go("client", func(p *sim.Proc) {
+		cq := r.ctx.CreateCQ()
+		qp := r.ctx.CreateQP(cq, r.tgt)
+		db = qp.Doorbell()
+		for i := 0; i < 7; i++ {
+			qp.PostSend(p, Read(addr, make([]byte, 8)))
+		}
+		cq.WaitN(p, 7)
+	})
+	r.eng.Run(0)
+	if db.Rings != 7 {
+		t.Fatalf("Rings = %d, want one per WR", db.Rings)
+	}
+	if db.Waiters() != 0 {
+		t.Fatalf("Waiters = %d at idle", db.Waiters())
+	}
+}
+
+func TestWireBytesAccounting(t *testing.T) {
+	r := newRig(15)
+	defer r.eng.Stop()
+	addr := r.mem.Alloc(1024)
+	r.eng.Go("client", func(p *sim.Proc) {
+		cq := r.ctx.CreateCQ()
+		qp := r.ctx.CreateQP(cq, r.tgt)
+		qp.PostSend(p, Read(addr, make([]byte, 1024)))
+		cq.WaitN(p, 1)
+	})
+	r.eng.Run(0)
+	c := r.ctx.NIC().Snapshot()
+	hdr := uint64(rnic.Default().HeaderBytes)
+	if c.BytesOnOut != hdr {
+		t.Fatalf("request bytes = %d, want header only for READ", c.BytesOnOut)
+	}
+	if c.BytesOnIn != hdr+1024 {
+		t.Fatalf("response bytes = %d, want header + payload", c.BytesOnIn)
+	}
+}
+
+func TestMixedOpsOneBatch(t *testing.T) {
+	r := newRig(16)
+	defer r.eng.Stop()
+	a := r.mem.Alloc(8)
+	b := r.mem.Alloc(16)
+	r.eng.Go("client", func(p *sim.Proc) {
+		cq := r.ctx.CreateCQ()
+		qp := r.ctx.CreateQP(cq, r.tgt)
+		w := Write(b, []byte("0123456789abcdef"))
+		f := FAA(a, 7)
+		g := Read(b, make([]byte, 16))
+		qp.PostSend(p, w, f, g)
+		cq.WaitN(p, 3)
+		if string(g.Local) != "0123456789abcdef" {
+			t.Errorf("read after write in batch = %q", g.Local)
+		}
+		if f.Result != 0 {
+			t.Errorf("FAA result = %d", f.Result)
+		}
+	})
+	r.eng.Run(0)
+}

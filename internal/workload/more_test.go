@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZipfMatchesAnalyticMass(t *testing.T) {
+	// The empirical probability of key 0 must match 1/zeta(n, theta).
+	const n = 1000
+	const theta = 0.99
+	z := NewZipf(rand.New(rand.NewSource(11)), n, theta)
+	const draws = 300000
+	zero := 0
+	for i := 0; i < draws; i++ {
+		if z.Next() == 0 {
+			zero++
+		}
+	}
+	want := 1.0 / zeta(n, theta)
+	got := float64(zero) / draws
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("P(key 0) = %.4f, analytic %.4f", got, want)
+	}
+}
+
+func TestZetaKnownValues(t *testing.T) {
+	if got := zeta(1, 0.5); got != 1 {
+		t.Fatalf("zeta(1) = %v", got)
+	}
+	// zeta(3, 1-epsilon) ~ 1 + 1/2 + 1/3 as theta -> 1.
+	got := zeta(3, 0.999999)
+	if math.Abs(got-(1+0.5+1.0/3)) > 0.001 {
+		t.Fatalf("zeta(3, ~1) = %v", got)
+	}
+}
+
+func TestUniformCoversDomain(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(12)), 50, 0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		seen[z.Next()] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("uniform draw covered %d/50 keys", len(seen))
+	}
+}
+
+func TestYCSBDeterministicPerSeed(t *testing.T) {
+	a := NewYCSB(rand.New(rand.NewSource(9)), 100, 0.9, WriteHeavy)
+	b := NewYCSB(rand.New(rand.NewSource(9)), 100, 0.9, WriteHeavy)
+	for i := 0; i < 200; i++ {
+		opA, kA := a.Next()
+		opB, kB := b.Next()
+		if opA != opB || kA != kB {
+			t.Fatal("same-seed YCSB streams diverged")
+		}
+	}
+}
+
+func TestMixNames(t *testing.T) {
+	for _, m := range []Mix{WriteHeavy, ReadHeavy, ReadOnly, UpdateOnly} {
+		if m.Name == "" {
+			t.Fatal("unnamed mix")
+		}
+	}
+	if WriteHeavy.UpdateFrac != 0.5 || ReadHeavy.UpdateFrac != 0.05 ||
+		ReadOnly.UpdateFrac != 0 || UpdateOnly.UpdateFrac != 1 {
+		t.Fatal("mix fractions wrong")
+	}
+}

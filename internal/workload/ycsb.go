@@ -1,0 +1,51 @@
+package workload
+
+import "math/rand"
+
+// OpType is a YCSB operation kind.
+type OpType int
+
+const (
+	Lookup OpType = iota
+	Update
+)
+
+// Mix is a YCSB read/write ratio. The paper evaluates three:
+// write-heavy (50% updates), read-heavy (5% updates), and read-only.
+type Mix struct {
+	Name       string
+	UpdateFrac float64
+}
+
+// The three mixes used throughout §6.
+var (
+	WriteHeavy = Mix{Name: "write-heavy", UpdateFrac: 0.50}
+	ReadHeavy  = Mix{Name: "read-heavy", UpdateFrac: 0.05}
+	ReadOnly   = Mix{Name: "read-only", UpdateFrac: 0.00}
+	UpdateOnly = Mix{Name: "update-only", UpdateFrac: 1.00}
+)
+
+// YCSB generates a stream of (op, key) pairs: keys Zipfian over the
+// loaded key space, operations Bernoulli over the mix.
+type YCSB struct {
+	mix  Mix
+	keys *Zipf
+	rng  *rand.Rand
+}
+
+// NewYCSB returns a generator over n keys with the given skew and mix.
+func NewYCSB(rng *rand.Rand, n uint64, theta float64, mix Mix) *YCSB {
+	return &YCSB{mix: mix, keys: NewZipf(rng, n, theta), rng: rng}
+}
+
+// Next draws the next operation.
+func (y *YCSB) Next() (OpType, uint64) {
+	op := Lookup
+	if y.rng.Float64() < y.mix.UpdateFrac {
+		op = Update
+	}
+	return op, y.keys.Next()
+}
+
+// Mix returns the generator's configured mix.
+func (y *YCSB) Mix() Mix { return y.mix }

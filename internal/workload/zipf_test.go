@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfBoundsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16, thetaRaw uint8) bool {
+		n := uint64(nRaw%1000) + 1
+		theta := float64(thetaRaw%100) / 101.0 // in [0, 0.99)
+		z := NewZipf(rand.New(rand.NewSource(seed)), n, theta)
+		for i := 0; i < 200; i++ {
+			if v := z.Next(); v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkewConcentratesMass(t *testing.T) {
+	const n = 10000
+	const draws = 200000
+	frac := func(theta float64) float64 {
+		z := NewZipf(rand.New(rand.NewSource(7)), n, theta)
+		hot := 0
+		for i := 0; i < draws; i++ {
+			if z.Next() < n/100 { // hottest 1%
+				hot++
+			}
+		}
+		return float64(hot) / draws
+	}
+	uniform, skewed := frac(0), frac(0.99)
+	if uniform > 0.03 {
+		t.Fatalf("uniform hot fraction = %.3f, want ~0.01", uniform)
+	}
+	if skewed < 0.4 {
+		t.Fatalf("theta=0.99 hot-1%% fraction = %.3f, want >0.4 (YCSB-like skew)", skewed)
+	}
+}
+
+func TestZipfHottestIsZero(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(1)), 1000, 0.99)
+	counts := make(map[uint64]int)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	best, bestKey := 0, uint64(0)
+	for k, c := range counts {
+		if c > best {
+			best, bestKey = c, k
+		}
+	}
+	if bestKey != 0 {
+		t.Fatalf("hottest key = %d, want 0", bestKey)
+	}
+	// The single hottest key of a Zipf(0.99) over 1000 items draws
+	// roughly 1/zeta share; sanity check it is far above uniform.
+	if float64(best)/100000 < 0.05 {
+		t.Fatalf("hottest key frequency %.3f too low for theta=0.99", float64(best)/100000)
+	}
+}
+
+func TestZipfDeterministicPerSeed(t *testing.T) {
+	a := NewZipf(rand.New(rand.NewSource(5)), 500, 0.9)
+	b := NewZipf(rand.New(rand.NewSource(5)), 500, 0.9)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+}
+
+func TestZipfRejectsBadArgs(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewZipf(rand.New(rand.NewSource(1)), 0, 0.5) },
+		func() { NewZipf(rand.New(rand.NewSource(1)), 10, 1.0) },
+		func() { NewZipf(rand.New(rand.NewSource(1)), 10, -0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestZipfAccessors(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(1)), 42, 0.5)
+	if z.N() != 42 || z.Theta() != 0.5 {
+		t.Fatalf("N=%d Theta=%v", z.N(), z.Theta())
+	}
+}
+
+func TestYCSBMixRatios(t *testing.T) {
+	for _, mix := range []Mix{WriteHeavy, ReadHeavy, ReadOnly, UpdateOnly} {
+		y := NewYCSB(rand.New(rand.NewSource(3)), 1000, 0.99, mix)
+		if y.Mix().Name != mix.Name {
+			t.Fatalf("Mix() = %v", y.Mix())
+		}
+		updates := 0
+		const draws = 50000
+		for i := 0; i < draws; i++ {
+			op, key := y.Next()
+			if key >= 1000 {
+				t.Fatalf("key %d out of range", key)
+			}
+			if op == Update {
+				updates++
+			}
+		}
+		got := float64(updates) / draws
+		if got < mix.UpdateFrac-0.02 || got > mix.UpdateFrac+0.02 {
+			t.Fatalf("%s: update fraction = %.3f, want ≈%.2f", mix.Name, got, mix.UpdateFrac)
+		}
+	}
+}
