@@ -1,0 +1,111 @@
+// Smartlint is the determinism linter for this reproduction: a
+// multichecker that runs the four custom analyzers from
+// internal/analysis (nowallclock, seededrand, maporder, simtime) over
+// the module, plus a selected set of `go vet` passes. Every number
+// the reproduction reports depends on the discrete-event engine being
+// bit-for-bit deterministic under a fixed seed; these rules machine-
+// check the invariants that keep it that way.
+//
+// Usage:
+//
+//	go run ./cmd/smartlint [-tests=false] [-vet=false] [packages]
+//
+// with ./... as the default package pattern. The exit status is
+// nonzero if any analyzer reports a diagnostic or a vet pass fails.
+// Individual findings can be suppressed with a
+// `//smartlint:ignore <analyzer>` comment on, or directly above, the
+// flagged line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/nowallclock"
+	"repro/internal/analysis/seededrand"
+	"repro/internal/analysis/simtime"
+)
+
+// analyzers is the smartlint suite, in reporting order.
+var analyzers = []*framework.Analyzer{
+	nowallclock.Analyzer,
+	seededrand.Analyzer,
+	maporder.Analyzer,
+	simtime.Analyzer,
+}
+
+// vetPasses are the stock `go vet` analyzers worth running alongside
+// the determinism suite (the full vet set runs as its own CI step).
+var vetPasses = []string{"-printf", "-copylocks", "-atomic", "-unreachable", "-bools"}
+
+func main() {
+	tests := flag.Bool("tests", true, "also analyze _test.go files")
+	vet := flag.Bool("vet", true, "also run selected go vet passes")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: smartlint [flags] [package pattern ...]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := framework.LoadModule(".", *tests, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smartlint:", err)
+		os.Exit(2)
+	}
+
+	wd, _ := os.Getwd()
+	failed := false
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := framework.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "smartlint:", err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				failed = true
+				pos := pkg.Fset.Position(d.Pos)
+				name := pos.Filename
+				if rel, err := filepath.Rel(wd, name); err == nil {
+					name = rel
+				}
+				fmt.Printf("%s:%d:%d: %s: %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+			}
+		}
+	}
+
+	if *vet {
+		args := append(append([]string{"vet"}, vetPasses...), patterns...)
+		cmd := exec.Command("go", args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}

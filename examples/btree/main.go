@@ -16,22 +16,35 @@ import (
 	"repro/internal/workload"
 )
 
-const (
-	keys    = 50_000
-	threads = 48
-	horizon = 8 * sim.Millisecond
-)
+// params sizes one run; main_test.go shrinks them to check that equal
+// seeds reproduce identical results.
+type params struct {
+	keys    uint64
+	threads int
+	horizon sim.Time
+	seed    int64
+}
 
-func run(name string, speculative bool, opts core.Options) {
+var defaults = params{keys: 50_000, threads: 48, horizon: 8 * sim.Millisecond, seed: 9}
+
+// result is everything the demo prints, in checkable form.
+type result struct {
+	ops        uint64
+	wireBytes  uint64
+	specHits   uint64
+	specMisses uint64
+}
+
+func run(speculative bool, opts core.Options, p params) result {
 	cl := cluster.New(cluster.Config{
 		ComputeBlades: 1,
 		MemoryBlades:  2,
 		BladeCapacity: 128 << 20,
-		Seed:          9,
+		Seed:          p.seed,
 	})
 	defer cl.Stop()
 
-	ks := make([]uint64, keys)
+	ks := make([]uint64, p.keys)
 	for i := range ks {
 		ks[i] = uint64(i + 1)
 	}
@@ -39,16 +52,15 @@ func run(name string, speculative bool, opts core.Options) {
 	client := sherman.NewClient(tree, cl.Eng, speculative)
 
 	opts.UpdateDelta = 400 * sim.Microsecond
-	rt := core.MustNew(cl.Computes[0].NIC, cl.Targets(), threads, opts)
+	rt := core.MustNew(cl.Computes[0].NIC, cl.Targets(), p.threads, opts)
 	defer rt.Stop()
 
 	var ops uint64
-	for ti := 0; ti < threads; ti++ {
-		th := rt.Thread(ti)
+	for ti := 0; ti < p.threads; ti++ {
 		for d := 0; d < rt.Options().Depth; d++ {
-			gen := workload.NewZipf(rand.New(rand.NewSource(int64(ti*131+d))), keys, 0.99)
-			th.Spawn("reader", func(c *core.Ctx) {
-				for c.Now() < horizon {
+			gen := workload.NewZipf(rand.New(rand.NewSource(p.seed+int64(ti*131+d))), p.keys, 0.99)
+			rt.Thread(ti).Spawn("reader", func(c *core.Ctx) {
+				for c.Now() < p.horizon {
 					key := gen.Next() + 1
 					if speculative {
 						client.LookupSpec(c, key)
@@ -60,22 +72,32 @@ func run(name string, speculative bool, opts core.Options) {
 			})
 		}
 	}
-	cl.Eng.Run(horizon)
+	cl.Eng.Run(p.horizon)
 
 	nic := cl.Computes[0].NIC.Snapshot()
+	return result{
+		ops:        ops,
+		wireBytes:  nic.BytesOnIn + nic.BytesOnOut,
+		specHits:   client.SpecHits,
+		specMisses: client.SpecMisses,
+	}
+}
+
+func report(name string, p params, r result) {
 	hitRate := 0.0
-	if t := client.SpecHits + client.SpecMisses; t > 0 {
-		hitRate = float64(client.SpecHits) / float64(t)
+	if t := r.specHits + r.specMisses; t > 0 {
+		hitRate = float64(r.specHits) / float64(t)
 	}
 	fmt.Printf("%-22s %8.2f MOPS   %6.1f Gbps on the wire   spec-hit %.0f%%\n",
 		name,
-		float64(ops)/float64(horizon)*1e3,
-		float64(nic.BytesOnIn+nic.BytesOnOut)*8/float64(horizon),
+		float64(r.ops)/float64(p.horizon)*1e3,
+		float64(r.wireBytes)*8/float64(p.horizon),
 		100*hitRate)
 }
 
 func main() {
-	fmt.Printf("read-only Zipf θ=0.99 lookups, %d threads x 8 coroutines, %d keys\n\n", threads, keys)
-	run("Sherman+ (1KiB leaf)", false, core.Baseline(core.PerThreadQP))
-	run("SMART-BT (spec 16B)", true, core.Smart())
+	p := defaults
+	fmt.Printf("read-only Zipf θ=0.99 lookups, %d threads x 8 coroutines, %d keys\n\n", p.threads, p.keys)
+	report("Sherman+ (1KiB leaf)", p, run(false, core.Baseline(core.PerThreadQP), p))
+	report("SMART-BT (spec 16B)", p, run(true, core.Smart(), p))
 }

@@ -16,38 +16,49 @@ import (
 	"repro/internal/stats"
 )
 
-const (
-	accounts = 20_000
-	threads  = 64
-	horizon  = 8 * sim.Millisecond
-)
+// params sizes one run; main_test.go shrinks them to check that equal
+// seeds reproduce identical results.
+type params struct {
+	accounts uint64
+	threads  int
+	horizon  sim.Time
+	seed     int64
+}
 
-func run(name string, opts core.Options) {
+var defaults = params{accounts: 20_000, threads: 64, horizon: 8 * sim.Millisecond, seed: 5}
+
+// result is everything the demo prints, in checkable form.
+type result struct {
+	txns     uint64
+	aborts   uint64
+	p50, p99 sim.Time
+}
+
+func run(opts core.Options, p params) result {
 	cl := cluster.New(cluster.Config{
 		ComputeBlades: 1,
 		MemoryBlades:  2,
 		MemoryKind:    blade.NVM,
 		BladeCapacity: 128 << 20,
-		Seed:          5,
+		Seed:          p.seed,
 	})
 	defer cl.Stop()
 
-	sb := ford.NewSmallBank(cl.Targets(), accounts)
+	sb := ford.NewSmallBank(cl.Targets(), p.accounts)
 	sb.Load()
 
 	opts.UpdateDelta = 400 * sim.Microsecond
 	opts.RetryWindow = 250 * sim.Microsecond
-	rt := core.MustNew(cl.Computes[0].NIC, cl.Targets(), threads, opts)
+	rt := core.MustNew(cl.Computes[0].NIC, cl.Targets(), p.threads, opts)
 	defer rt.Stop()
 
 	lat := stats.NewHist()
 	var txns, aborts uint64
-	for ti := 0; ti < threads; ti++ {
-		th := rt.Thread(ti)
+	for ti := 0; ti < p.threads; ti++ {
 		for d := 0; d < rt.Options().Depth; d++ {
-			rng := rand.New(rand.NewSource(int64(ti*211 + d)))
-			th.Spawn("txn", func(c *core.Ctx) {
-				for c.Now() < horizon {
+			rng := rand.New(rand.NewSource(p.seed + int64(ti*211+d)))
+			rt.Thread(ti).Spawn("txn", func(c *core.Ctx) {
+				for c.Now() < p.horizon {
 					start := c.Now()
 					aborts += uint64(sb.RunOne(c, rng))
 					txns++
@@ -56,17 +67,22 @@ func run(name string, opts core.Options) {
 			})
 		}
 	}
-	cl.Eng.Run(horizon)
+	cl.Eng.Run(p.horizon)
 
+	return result{txns: txns, aborts: aborts, p50: lat.Median(), p99: lat.P99()}
+}
+
+func report(name string, p params, r result) {
 	fmt.Printf("%-10s %8.2f M txn/s   p50 %-10v p99 %-10v aborts/txn %.3f\n",
 		name,
-		float64(txns)/float64(horizon)*1e3,
-		lat.Median(), lat.P99(),
-		float64(aborts)/float64(txns))
+		float64(r.txns)/float64(p.horizon)*1e3,
+		r.p50, r.p99,
+		float64(r.aborts)/float64(r.txns))
 }
 
 func main() {
-	fmt.Printf("SmallBank over FORD-style one-sided transactions on NVM, %d threads x 8 coroutines\n\n", threads)
-	run("FORD+", core.Baseline(core.PerThreadQP))
-	run("SMART-DTX", core.Smart())
+	p := defaults
+	fmt.Printf("SmallBank over FORD-style one-sided transactions on NVM, %d threads x 8 coroutines\n\n", p.threads)
+	report("FORD+", p, run(core.Baseline(core.PerThreadQP), p))
+	report("SMART-DTX", p, run(core.Smart(), p))
 }

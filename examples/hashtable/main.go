@@ -17,43 +17,55 @@ import (
 	"repro/internal/workload"
 )
 
-const (
-	keys    = 50_000
-	threads = 32
-	theta   = 0.99
-	horizon = 8 * sim.Millisecond
-)
+// params sizes one run; main_test.go shrinks them to check that equal
+// seeds reproduce identical results.
+type params struct {
+	keys    uint64
+	threads int
+	theta   float64
+	horizon sim.Time
+	seed    int64
+}
 
-func run(name string, opts core.Options) {
+var defaults = params{keys: 50_000, threads: 32, theta: 0.99, horizon: 8 * sim.Millisecond, seed: 7}
+
+// result is everything the demo prints, in checkable form.
+type result struct {
+	ops       uint64
+	p50, p99  sim.Time
+	casFailed uint64
+	casTotal  uint64
+}
+
+func run(opts core.Options, p params) result {
 	cl := cluster.New(cluster.Config{
 		ComputeBlades: 1,
 		MemoryBlades:  2,
 		BladeCapacity: 128 << 20,
-		Seed:          7,
+		Seed:          p.seed,
 	})
 	defer cl.Stop()
 
 	// Build and bulk-load the table (extendible hashing with combined
 	// bucket groups, as in RACE).
 	tbl := race.Create(cl.Targets(), race.Config{Groups: 1024, InitialDepth: 3, MaxDepth: 8})
-	for k := uint64(0); k < keys; k++ {
+	for k := uint64(0); k < p.keys; k++ {
 		tbl.LoadDirect(k, k)
 	}
 	client := race.NewClient(tbl)
 
 	opts.UpdateDelta = 400 * sim.Microsecond // converge within the short run
 	opts.RetryWindow = 250 * sim.Microsecond
-	rt := core.MustNew(cl.Computes[0].NIC, cl.Targets(), threads, opts)
+	rt := core.MustNew(cl.Computes[0].NIC, cl.Targets(), p.threads, opts)
 	defer rt.Stop()
 
 	lat := stats.NewHist()
 	var ops uint64
-	for ti := 0; ti < threads; ti++ {
-		th := rt.Thread(ti)
+	for ti := 0; ti < p.threads; ti++ {
 		for d := 0; d < rt.Options().Depth; d++ {
-			gen := workload.NewYCSB(rand.New(rand.NewSource(int64(ti*101+d))), keys, theta, workload.WriteHeavy)
-			th.Spawn("worker", func(c *core.Ctx) {
-				for c.Now() < horizon {
+			gen := workload.NewYCSB(rand.New(rand.NewSource(p.seed+int64(ti*101+d))), p.keys, p.theta, workload.WriteHeavy)
+			rt.Thread(ti).Spawn("worker", func(c *core.Ctx) {
+				for c.Now() < p.horizon {
 					op, key := gen.Next()
 					start := c.Now()
 					if op == workload.Update {
@@ -67,17 +79,28 @@ func run(name string, opts core.Options) {
 			})
 		}
 	}
-	cl.Eng.Run(horizon)
+	cl.Eng.Run(p.horizon)
 
 	s := rt.TotalStats()
+	return result{
+		ops:       ops,
+		p50:       lat.Median(),
+		p99:       lat.P99(),
+		casFailed: s.CASFailed,
+		casTotal:  s.CASTotal,
+	}
+}
+
+func report(name string, p params, r result) {
 	fmt.Printf("%-10s %8.2f MOPS   p50 %-10v p99 %-10v CAS retries/attempts %d/%d\n",
 		name,
-		float64(ops)/float64(horizon)*1e3,
-		lat.Median(), lat.P99(), s.CASFailed, s.CASTotal)
+		float64(r.ops)/float64(p.horizon)*1e3,
+		r.p50, r.p99, r.casFailed, r.casTotal)
 }
 
 func main() {
-	fmt.Printf("write-heavy YCSB, Zipf θ=%.2f, %d threads x 8 coroutines, %d keys\n\n", theta, threads, keys)
-	run("RACE", core.Baseline(core.PerThreadQP))
-	run("SMART-HT", core.Smart())
+	p := defaults
+	fmt.Printf("write-heavy YCSB, Zipf θ=%.2f, %d threads x 8 coroutines, %d keys\n\n", p.theta, p.threads, p.keys)
+	report("RACE", p, run(core.Baseline(core.PerThreadQP), p))
+	report("SMART-HT", p, run(core.Smart(), p))
 }

@@ -1,0 +1,218 @@
+// Package analysistest runs framework analyzers over fixture packages
+// and checks their diagnostics against expectations written in the
+// fixtures, mirroring golang.org/x/tools/go/analysis/analysistest
+// (which cannot be imported in this offline container).
+//
+// Fixtures live under <testdata>/src/<pkg>/*.go. A line that should be
+// flagged carries a trailing comment of the form
+//
+//	// want "regexp"
+//
+// with one quoted regular expression per expected diagnostic on that
+// line (double- or back-quoted). Fixture packages may import each
+// other by their directory name under src/, and may import the
+// standard library.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis/framework"
+)
+
+// The FileSet and stdlib source importer are shared by every Run call
+// in a test binary: the source importer re-type-checks $GOROOT/src on
+// first use of each package, which costs seconds, so the cache must
+// outlive a single fixture package.
+var (
+	mu       sync.Mutex
+	fset     = token.NewFileSet()
+	stdOnce  sync.Once
+	stdImp   types.Importer
+	fixtures = make(map[string]*types.Package)
+)
+
+// Run loads each fixture package under testdata/src and reports, via
+// t, any mismatch between the analyzer's diagnostics and the // want
+// expectations in the fixture source.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, pkg := range pkgs {
+		runOne(t, testdata, a, pkg)
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *framework.Analyzer, pkgPath string) {
+	t.Helper()
+	imp := &fixtureImporter{testdata: testdata}
+	pkg, err := imp.load(pkgPath)
+	if err != nil {
+		t.Errorf("%s: loading fixture %s: %v", a.Name, pkgPath, err)
+		return
+	}
+	diags, err := framework.RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Errorf("%s: %v", a.Name, err)
+		return
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := fset.Position(c.Pos())
+				for _, pat := range wantPatterns(t, pos, c.Text) {
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], pat)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for i, pat := range wants[k] {
+			if pat.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", a.Name, pos, d.Message)
+		}
+	}
+	var leftover []string
+	//smartlint:ignore maporder — leftover is sorted before reporting
+	for k, pats := range wants {
+		for _, pat := range pats {
+			leftover = append(leftover, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, pat))
+		}
+	}
+	sort.Strings(leftover)
+	for _, miss := range leftover {
+		t.Errorf("%s: %s", a.Name, miss)
+	}
+}
+
+// wantPatterns extracts the quoted regexps from a `// want ...`
+// comment, or nil if the comment is not an expectation.
+func wantPatterns(t *testing.T, pos token.Position, text string) []*regexp.Regexp {
+	t.Helper()
+	rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "want ")
+	if !ok {
+		return nil
+	}
+	var pats []*regexp.Regexp
+	for _, lit := range stringLits.FindAllString(rest, -1) {
+		s, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Errorf("%s: bad want literal %s: %v", pos, lit, err)
+			continue
+		}
+		pat, err := regexp.Compile(s)
+		if err != nil {
+			t.Errorf("%s: bad want regexp %q: %v", pos, s, err)
+			continue
+		}
+		pats = append(pats, pat)
+	}
+	if len(pats) == 0 {
+		t.Errorf("%s: want comment with no parseable patterns: %s", pos, text)
+	}
+	return pats
+}
+
+var stringLits = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// fixtureImporter resolves fixture-local packages from testdata/src
+// and delegates everything else to the shared stdlib source importer.
+type fixtureImporter struct {
+	testdata string
+	loading  map[string]bool
+}
+
+func (imp *fixtureImporter) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(imp.testdata, "src", path)
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		if tpkg, ok := fixtures[dir]; ok {
+			return tpkg, nil
+		}
+		if imp.loading[path] {
+			return nil, fmt.Errorf("fixture import cycle through %s", path)
+		}
+		pkg, err := imp.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	stdOnce.Do(func() { stdImp = importer.ForCompiler(fset, "source", nil) })
+	return stdImp.Import(path)
+}
+
+// load parses and type-checks one fixture package.
+func (imp *fixtureImporter) load(pkgPath string) (*framework.Package, error) {
+	if imp.loading == nil {
+		imp.loading = make(map[string]bool)
+	}
+	imp.loading[pkgPath] = true
+	defer delete(imp.loading, pkgPath)
+
+	dir := filepath.Join(imp.testdata, "src", pkgPath)
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s (%v)", dir, err)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", pkgPath, err)
+	}
+	fixtures[dir] = tpkg
+	return &framework.Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}

@@ -1,0 +1,152 @@
+// Package framework is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis surface that smartlint's
+// analyzers are written against. The container this reproduction is
+// grown in has no network access and an empty module cache, so the
+// real x/tools module cannot be pinned; instead of stubbing the
+// analyzers out, the handful of framework concepts they need —
+// Analyzer, Pass, Diagnostic, a module loader, and an analysistest
+// harness — are implemented here on top of the standard library's
+// go/ast, go/parser, go/types, and go/importer packages. The API is
+// kept deliberately shape-compatible with x/tools so that a future PR
+// with network access can swap the import path and delete this
+// package.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis rule. Unlike x/tools, Run
+// reports diagnostics through the Pass rather than returning facts;
+// smartlint's rules are all intra-package, so the facts machinery is
+// not needed.
+type Analyzer struct {
+	// Name identifies the rule. It is printed with each diagnostic and
+	// is the token accepted by //smartlint:ignore comments.
+	Name string
+
+	// Doc is a one-paragraph description shown by `smartlint -help`.
+	Doc string
+
+	// Run executes the rule over a single type-checked package.
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// PkgPath is the import path the package was loaded under. For
+	// external test packages it carries the "_test" suffix.
+	PkgPath string
+
+	// ignoredLines maps filename -> set of lines suppressed for this
+	// analyzer by //smartlint:ignore comments.
+	ignoredLines map[string]map[int]bool
+
+	// report receives every non-suppressed diagnostic.
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding, positioned in the loaded FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// IgnoreDirective is the comment prefix that suppresses a diagnostic:
+// `//smartlint:ignore <analyzer>` (several names may follow, separated
+// by spaces or commas) on the flagged line or the line directly above
+// it.
+const IgnoreDirective = "//smartlint:ignore"
+
+// Reportf reports a diagnostic at pos unless an ignore directive
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if lines, ok := p.ignoredLines[position.Filename]; ok {
+		if lines[position.Line] || lines[position.Line-1] {
+			return
+		}
+	}
+	p.report(Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf returns the object denoted by identifier id, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return p.TypesInfo.Uses[id]
+}
+
+// ignoreLines scans a file's comments for ignore directives naming
+// analyzer and returns the set of source lines they occupy.
+func ignoreLines(fset *token.FileSet, file *ast.File, analyzer string) map[int]bool {
+	var lines map[int]bool
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, IgnoreDirective)
+			if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+				continue
+			}
+			for _, name := range strings.FieldsFunc(rest, func(r rune) bool {
+				return r == ' ' || r == '\t' || r == ','
+			}) {
+				if name == analyzer {
+					if lines == nil {
+						lines = make(map[int]bool)
+					}
+					lines[fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+	}
+	return lines
+}
+
+// RunAnalyzer applies one analyzer to one loaded package and returns
+// its diagnostics sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:     a,
+		Fset:         pkg.Fset,
+		Files:        pkg.Files,
+		Pkg:          pkg.Types,
+		TypesInfo:    pkg.Info,
+		PkgPath:      pkg.PkgPath,
+		ignoredLines: make(map[string]map[int]bool),
+		report:       func(d Diagnostic) { diags = append(diags, d) },
+	}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if lines := ignoreLines(pkg.Fset, f, a.Name); lines != nil {
+			pass.ignoredLines[name] = lines
+		}
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

@@ -1,0 +1,172 @@
+// Package maporder defines a smartlint analyzer that flags range
+// loops over maps whose bodies leak Go's randomized iteration order
+// into simulation state. A map range that appends to an outer slice,
+// sends on a channel, accumulates floating point in an outer
+// variable, or calls a method on an outer variable for its side
+// effects produces a different ordering (or rounding) each run even
+// under a fixed seed — the classic way a "deterministic" simulator
+// develops run-to-run jitter. Iterate over sorted keys instead, or
+// suppress a reviewed-safe loop with
+//
+//	//smartlint:ignore maporder
+//
+// on the line above the range statement.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the maporder rule.
+var Analyzer = &framework.Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map loops that append to outer slices, send on " +
+		"channels, accumulate floats in outer variables, or call methods on " +
+		"outer variables for effect: map iteration order is randomized per run, " +
+		"so such loops break seed-determinism; iterate " +
+		"sorted keys, or mark a reviewed loop with //smartlint:ignore maporder",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := pass.TypeOf(rs.X); t == nil || !isMap(t) {
+				return true
+			}
+			checkBody(pass, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkBody reports order-sensitive operations inside one map-range
+// body. Diagnostics anchor at the range statement itself so that a
+// single ignore directive above the loop covers them.
+func checkBody(pass *framework.Pass, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(rs.For,
+				"map range body sends on a channel (line %d); map iteration order is randomized, so message order differs between runs",
+				pass.Fset.Position(s.Arrow).Line)
+		case *ast.ExprStmt:
+			// A bare method call on a variable from outside the loop is
+			// (almost always) executed for its side effects, and those
+			// effects land in randomized map order. This is what turns a
+			// per-blade undo-log map into nondeterministic simulated I/O.
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					if selection, isMethod := pass.TypesInfo.Selections[sel]; isMethod &&
+						!isTestingRecv(selection.Recv()) && declaredOutside(pass, sel.X, rs) {
+						pass.Reportf(rs.For,
+							"map range body calls a method on a variable declared outside the loop (line %d); the side effects happen in randomized map iteration order",
+							pass.Fset.Position(s.Pos()).Line)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if i >= len(s.Lhs) {
+					break
+				}
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltinAppend(pass, call) &&
+					declaredOutside(pass, s.Lhs[i], rs) {
+					pass.Reportf(rs.For,
+						"map range body appends to a slice declared outside the loop (line %d); element order follows the randomized map iteration order",
+						pass.Fset.Position(s.Pos()).Line)
+				}
+			}
+			if s.Tok == token.ADD_ASSIGN || s.Tok == token.SUB_ASSIGN {
+				for _, lhs := range s.Lhs {
+					if t := pass.TypeOf(lhs); t != nil && isFloat(t) && declaredOutside(pass, lhs, rs) {
+						pass.Reportf(rs.For,
+							"map range body accumulates floating point into a variable declared outside the loop (line %d); float addition is not associative, so the sum depends on the randomized iteration order",
+							pass.Fset.Position(s.Pos()).Line)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isTestingRecv exempts methods on the standard testing types
+// (*testing.T, *testing.B, ...): assertion calls like t.Errorf only
+// affect the order test failures are reported in, never simulation
+// state, and flagging every table-driven map test would drown the
+// signal in ignore directives.
+func isTestingRecv(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "testing"
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isBuiltinAppend(pass *framework.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// declaredOutside reports whether the variable written through expr
+// was declared outside the range statement. For selector, index, and
+// dereference chains the *base* variable decides: appending to a
+// field of a loop-local copy is loop-local, appending through an
+// outer struct or pointer escapes the loop.
+func declaredOutside(pass *framework.Pass, expr ast.Expr, rs *ast.RangeStmt) bool {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			obj := pass.ObjectOf(e)
+			if obj == nil {
+				return false
+			}
+			return obj.Pos() < rs.Pos() || obj.Pos() >= rs.End()
+		case *ast.SelectorExpr:
+			// A qualified or field selection rooted elsewhere (x.f):
+			// recurse into x. Package-qualified vars (pkg.V) resolve
+			// via the selected identifier instead.
+			if _, ok := pass.TypesInfo.Selections[e]; !ok {
+				expr = e.Sel
+				continue
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			// Function results, channel receives, literals: not a
+			// trackable variable; assume escaping to stay safe.
+			return true
+		}
+	}
+}

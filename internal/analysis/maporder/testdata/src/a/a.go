@@ -1,0 +1,48 @@
+package a
+
+func appendToOuter(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want `map range body appends to a slice declared outside the loop`
+		out = append(out, v)
+	}
+	return out
+}
+
+func sendOnChannel(m map[int]int, ch chan int) {
+	for k := range m { // want `map range body sends on a channel`
+		ch <- k
+	}
+}
+
+func floatAccumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map range body accumulates floating point`
+		sum += v
+	}
+	return sum
+}
+
+func appendThroughStruct(m map[int]int, s *struct{ xs []int }) {
+	for k := range m { // want `map range body appends to a slice declared outside the loop`
+		s.xs = append(s.xs, k)
+	}
+}
+
+type sink struct{ n int }
+
+func (s *sink) Emit(v int) { s.n += v }
+
+func methodOnOuter(m map[int]int, s *sink) {
+	for _, v := range m { // want `map range body calls a method on a variable declared outside the loop`
+		s.Emit(v)
+	}
+}
+
+func reviewedSafe(m map[int]int) []int {
+	var keys []int
+	//smartlint:ignore maporder — keys are sorted immediately after
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

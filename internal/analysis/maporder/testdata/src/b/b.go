@@ -1,0 +1,67 @@
+package b
+
+import "sort"
+
+// Order-insensitive map loops: integer reductions, writes keyed by the
+// map key, and loop-local slices are all deterministic regardless of
+// iteration order.
+func clean(m map[int]int) ([]int, int) {
+	total := 0
+	for _, v := range m {
+		total += v // integer addition is associative: order-independent
+	}
+
+	inverse := make(map[int]int, len(m))
+	for k, v := range m {
+		inverse[v] = k
+	}
+
+	keys := make([]int, 0, len(m))
+	//smartlint:ignore maporder — sorted on the next line
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+
+	for range m {
+		local := []int{}
+		local = append(local, 1) // loop-local slice: dies each iteration
+		_ = local
+	}
+	return keys, total
+}
+
+type node struct{ keys []int }
+
+// Deep-copying map values appends only to loop-local state and writes
+// back under the same key: deterministic whatever the iteration order.
+func deepCopy(m map[int]*node) map[int]*node {
+	out := make(map[int]*node, len(m))
+	for k, n := range m {
+		cp := *n
+		cp.keys = append([]int(nil), n.keys...)
+		out[k] = &cp
+	}
+	return out
+}
+
+// Methods called on loop-local receivers leave no cross-iteration
+// trace: each iteration builds and discards its own value.
+func methodOnLocal(m map[int]*node) {
+	for k := range m {
+		cp := node{keys: []int{k}}
+		p := &cp
+		p.touch()
+	}
+}
+
+func (n *node) touch() { n.keys = append(n.keys, 0) }
+
+// Ranging over slices is always ordered; append is fine.
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}

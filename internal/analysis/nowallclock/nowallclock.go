@@ -1,0 +1,72 @@
+// Package nowallclock defines a smartlint analyzer that forbids wall
+// clock access in simulation code. Every result this reproduction
+// reports is produced by the discrete-event engine in internal/sim,
+// whose runs must be bit-for-bit identical for a given seed; a single
+// time.Now or time.Sleep smuggles host scheduling into the model and
+// silently destroys that property. Simulation code must use sim.Time
+// and Engine.Now instead. Command-line front ends (cmd/...) may time
+// their own wall-clock execution, so they are exempt via Exempt.
+package nowallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Exempt lists import-path prefixes where wall-clock use is allowed:
+// CLI front ends report real elapsed time to the terminal, which is
+// presentation, not simulation.
+var Exempt = []string{
+	"repro/cmd",
+}
+
+// banned is the set of time-package functions that read the wall
+// clock, sleep on it, or arm timers against it.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Analyzer is the nowallclock rule.
+var Analyzer = &framework.Analyzer{
+	Name: "nowallclock",
+	Doc: "forbid time.Now/time.Since/time.Sleep and friends outside cmd/: " +
+		"simulation code runs on virtual time (sim.Time, Engine.Now) and must " +
+		"stay deterministic under a fixed seed",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, prefix := range Exempt {
+		if pass.PkgPath == prefix || strings.HasPrefix(pass.PkgPath, prefix+"/") {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !banned[fn.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"time.%s reads the wall clock; simulation code must use virtual time (sim.Time, Engine.Now, Proc.Sleep)",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

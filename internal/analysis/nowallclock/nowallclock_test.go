@@ -1,0 +1,15 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nowallclock"
+)
+
+func TestNoWallClock(t *testing.T) {
+	// "a" holds violations, "b" is clean simulation-style code, and
+	// "repro/cmd/tool" exercises the cmd/ allowlist: it reads the wall
+	// clock with no // want expectations and must stay silent.
+	analysistest.Run(t, "testdata", nowallclock.Analyzer, "a", "b", "repro/cmd/tool")
+}

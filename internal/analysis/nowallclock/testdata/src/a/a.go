@@ -1,0 +1,18 @@
+package a
+
+import "time"
+
+func violations() time.Duration {
+	start := time.Now()            // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond)   // want `time.Sleep reads the wall clock`
+	elapsed := time.Since(start)   // want `time.Since reads the wall clock`
+	<-time.After(time.Microsecond) // want `time.After reads the wall clock`
+	return elapsed
+}
+
+func indirect() {
+	// Taking the function's value is as wall-clock-dependent as
+	// calling it.
+	clock := time.Now // want `time.Now reads the wall clock`
+	_ = clock
+}

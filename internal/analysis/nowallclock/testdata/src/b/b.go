@@ -1,0 +1,15 @@
+package b
+
+import "time"
+
+// Virtual-time style code: durations as values are fine, only reading
+// or sleeping on the host clock is banned.
+type Time int64
+
+func clean(d time.Duration) time.Duration {
+	// time.Duration arithmetic and formatting do not touch the wall
+	// clock.
+	return 2*d + time.Millisecond.Round(time.Microsecond)
+}
+
+func simNow(now Time) Time { return now + 5 }

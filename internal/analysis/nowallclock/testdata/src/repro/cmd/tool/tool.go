@@ -1,0 +1,12 @@
+// Package tool imitates a CLI front end under repro/cmd/...: the
+// nowallclock allowlist exempts it, so its wall-clock reads produce no
+// diagnostics.
+package tool
+
+import "time"
+
+func Elapsed() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}

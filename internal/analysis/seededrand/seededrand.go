@@ -1,0 +1,70 @@
+// Package seededrand defines a smartlint analyzer that forbids the
+// package-level math/rand functions (rand.Intn, rand.Float64,
+// rand.Shuffle, ...). Those draw from a process-global generator whose
+// stream is shared by everything in the process, so adding one call
+// anywhere perturbs every downstream draw and makes results
+// irreproducible. All randomness must flow from an explicit *rand.Rand
+// constructed with rand.New(rand.NewSource(seed)) — usually
+// Engine.Rand() or a per-thread generator derived from the run's seed
+// — so that equal seeds give identical runs.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// randPackages are the import paths whose package-level functions are
+// forbidden. math/rand/v2 has no Seed at all, making its global
+// functions unreplayable by construction.
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// allowed are the package-level constructors that *build* explicit
+// generators rather than drawing from the global one.
+var allowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// Analyzer is the seededrand rule.
+var Analyzer = &framework.Analyzer{
+	Name: "seededrand",
+	Doc: "forbid package-level math/rand functions everywhere: randomness must " +
+		"come from an explicit *rand.Rand built with rand.New(rand.NewSource(seed)) " +
+		"so every run is replayable from its seed",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || !randPackages[fn.Pkg().Path()] {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on *rand.Rand are the blessed API
+			}
+			if allowed[fn.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"%s.%s draws from the process-global generator; use an explicit *rand.Rand from rand.New(rand.NewSource(seed))",
+				fn.Pkg().Path(), fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package a
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func globalDraws() {
+	_ = rand.Intn(10)                  // want `math/rand.Intn draws from the process-global generator`
+	_ = rand.Float64()                 // want `math/rand.Float64 draws from the process-global generator`
+	rand.Shuffle(3, func(i, j int) {}) // want `math/rand.Shuffle draws from the process-global generator`
+	rand.Seed(1)                       // want `math/rand.Seed draws from the process-global generator`
+	_ = randv2.IntN(10)                // want `math/rand/v2.IntN draws from the process-global generator`
+}
+
+func indirectUse() {
+	// Referencing the package-level function as a value is just as
+	// global as calling it.
+	pick := rand.Intn // want `math/rand.Intn draws from the process-global generator`
+	_ = pick
+}

@@ -1,0 +1,12 @@
+package b
+
+import "math/rand"
+
+// The blessed pattern: an explicit generator threaded from a seed.
+// Constructors and *rand.Rand methods are all allowed.
+func replayable(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(3, func(i, j int) {})
+	z := rand.NewZipf(rng, 1.1, 1, 100)
+	return rng.Intn(10) + int(z.Uint64())
+}

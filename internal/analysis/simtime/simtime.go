@@ -1,0 +1,217 @@
+// Package simtime defines a smartlint analyzer that keeps the virtual
+// time unit discipline honest: a bare integer literal written where
+// sim.Time is expected ("Sleep(3300)") carries no unit and silently
+// relies on the reader knowing that sim.Time counts nanoseconds.
+// Durations must be spelled with a unit (3300*sim.Nanosecond,
+// 2*sim.Microsecond) or as an explicit conversion of a named,
+// documented constant. The two calibration files that *define* the
+// model's raw nanosecond constants — internal/rnic/params.go and
+// internal/core/options.go — are allowlisted so every magic number
+// stays quarantined there.
+package simtime
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// AllowFiles lists slash-path suffixes of files allowed to assign raw
+// integer literals to sim.Time: the calibrated parameter tables.
+var AllowFiles = []string{
+	"internal/rnic/params.go",
+	"internal/core/options.go",
+}
+
+// Analyzer is the simtime rule.
+var Analyzer = &framework.Analyzer{
+	Name: "simtime",
+	Doc: "flag untyped integer literals used where sim.Time is expected " +
+		"(call arguments, assignments, struct literals, var initializers): " +
+		"virtual durations must carry a unit such as 5*sim.Microsecond; raw " +
+		"nanosecond constants belong in internal/rnic/params.go or " +
+		"internal/core/options.go",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if allowedFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			case *ast.CompositeLit:
+				checkCompositeLit(pass, n)
+			case *ast.GenDecl:
+				checkGenDecl(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func allowedFile(name string) bool {
+	slash := filepath.ToSlash(name)
+	for _, suffix := range AllowFiles {
+		if strings.HasSuffix(slash, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSimTime reports whether t is the named type Time from a package
+// named sim (matched by name so analysis fixtures can supply their
+// own sim package).
+func isSimTime(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Time" && obj.Pkg() != nil && obj.Pkg().Name() == "sim"
+}
+
+// bareIntLit reports whether e is syntactically a plain (possibly
+// negated) nonzero integer literal — the unit-less spelling the rule
+// forbids. Expressions like 3*sim.Millisecond or sim.Time(5) are
+// fine: they name their unit or convert explicitly.
+func bareIntLit(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.SUB || u.Op == token.ADD) {
+		e = ast.Unparen(u.X)
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return false
+	}
+	// A literal zero needs no unit: 0 ns == 0 s.
+	return strings.Trim(lit.Value, "0_xXbBoO") != ""
+}
+
+func report(pass *framework.Pass, e ast.Expr) {
+	pass.Reportf(e.Pos(),
+		"untyped integer literal used as sim.Time; write a unit (e.g. %s*sim.Nanosecond) or name the constant in internal/rnic/params.go / internal/core/options.go",
+		exprString(e))
+}
+
+func exprString(e ast.Expr) string {
+	if lit, ok := ast.Unparen(e).(*ast.BasicLit); ok {
+		return lit.Value
+	}
+	return "N"
+}
+
+// checkCall flags bare literals passed to sim.Time parameters. Type
+// conversions (sim.Time(5)) are explicitly blessed.
+func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case i < sig.Params().Len()-1 || (i == sig.Params().Len()-1 && !sig.Variadic()):
+			param = sig.Params().At(i).Type()
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			slice, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice)
+			if !ok { // append-like or [...]T spread; skip
+				continue
+			}
+			param = slice.Elem()
+		default:
+			continue
+		}
+		if isSimTime(param) && bareIntLit(arg) {
+			report(pass, arg)
+		}
+	}
+}
+
+// checkAssign flags `t = 5` and `t += 5` where t is sim.Time. Scaling
+// by a dimensionless factor (t *= 2) stays legal.
+func checkAssign(pass *framework.Pass, s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.ASSIGN, token.ADD_ASSIGN, token.SUB_ASSIGN:
+	default:
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		if t := pass.TypeOf(lhs); t != nil && isSimTime(t) && bareIntLit(s.Rhs[i]) {
+			report(pass, s.Rhs[i])
+		}
+	}
+}
+
+// checkCompositeLit flags sim.Time fields initialized with bare
+// literals in struct literals (keyed or positional).
+func checkCompositeLit(pass *framework.Pass, lit *ast.CompositeLit) {
+	t := pass.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	byName := make(map[string]types.Type, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		byName[st.Field(i).Name()] = st.Field(i).Type()
+	}
+	for i, elt := range lit.Elts {
+		var ft types.Type
+		var value ast.Expr
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok {
+				ft, value = byName[key.Name], kv.Value
+			}
+		} else if i < st.NumFields() {
+			ft, value = st.Field(i).Type(), elt
+		}
+		if ft != nil && isSimTime(ft) && bareIntLit(value) {
+			report(pass, value)
+		}
+	}
+}
+
+// checkGenDecl flags `var d sim.Time = 5`. Constant declarations
+// (`const tick sim.Time = 1`) are deliberately exempt: a typed named
+// constant is exactly the "name the duration" remedy this rule asks
+// for — it is how sim's own unit constants are defined.
+func checkGenDecl(pass *framework.Pass, decl *ast.GenDecl) {
+	if decl.Tok != token.VAR {
+		return
+	}
+	for _, s := range decl.Specs {
+		spec, ok := s.(*ast.ValueSpec)
+		if !ok || spec.Type == nil {
+			continue
+		}
+		if t := pass.TypeOf(spec.Type); t == nil || !isSimTime(t) {
+			continue
+		}
+		for _, v := range spec.Values {
+			if bareIntLit(v) {
+				report(pass, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package simtime
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestSimTime(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "a", "b")
+}
+
+// TestAllowedFiles pins the calibration-file allowlist: the two files
+// that define the model's raw nanosecond constants may assign bare
+// literals, everything else may not.
+func TestAllowedFiles(t *testing.T) {
+	for _, name := range []string{
+		"/root/repo/internal/rnic/params.go",
+		"internal/core/options.go",
+	} {
+		if !allowedFile(name) {
+			t.Errorf("allowedFile(%q) = false, want true", name)
+		}
+	}
+	for _, name := range []string{
+		"internal/sim/engine.go",
+		"internal/rnic/rnic.go",
+		"params.go",
+	} {
+		if allowedFile(name) {
+			t.Errorf("allowedFile(%q) = true, want false", name)
+		}
+	}
+}

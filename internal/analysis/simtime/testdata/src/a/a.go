@@ -1,0 +1,30 @@
+package a
+
+import "sim"
+
+type config struct {
+	Warmup  sim.Time
+	Measure sim.Time
+	Label   string
+}
+
+func calls() {
+	sim.Sleep(3300)       // want `untyped integer literal used as sim.Time`
+	sim.Sleep(-5)         // want `untyped integer literal used as sim.Time`
+	sim.Between(10, 2000) // want `untyped integer literal used as sim.Time` `untyped integer literal used as sim.Time`
+	sim.All(1, 2)         // want `untyped integer literal used as sim.Time` `untyped integer literal used as sim.Time`
+	sim.TakesInt(7, 100)  // want `untyped integer literal used as sim.Time`
+}
+
+func assigns() {
+	var t sim.Time
+	t = 500 // want `untyped integer literal used as sim.Time`
+	t += 3  // want `untyped integer literal used as sim.Time`
+	_ = t
+}
+
+func literals() config {
+	var d sim.Time = 42 // want `untyped integer literal used as sim.Time`
+	_ = d
+	return config{Warmup: 1000, Measure: 2 * sim.Microsecond} // want `untyped integer literal used as sim.Time`
+}

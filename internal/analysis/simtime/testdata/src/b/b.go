@@ -1,0 +1,31 @@
+package b
+
+import "sim"
+
+type config struct {
+	Warmup  sim.Time
+	Measure sim.Time
+	Tries   int
+}
+
+// Unit-carrying spellings, explicit conversions, named constants, and
+// zero are all fine; so are plain ints next to sim.Time parameters.
+const warmup = 3 * sim.Millisecond
+
+// A typed named constant is the blessed way to give a raw figure a
+// name, mirroring how sim defines its unit constants.
+const tick sim.Time = 25
+
+func clean(raw int64) config {
+	sim.Sleep(0)
+	sim.Sleep(5 * sim.Microsecond)
+	sim.Sleep(sim.Time(raw))
+	sim.Between(warmup, 2*warmup)
+	sim.TakesInt(7, sim.Millisecond)
+	var t sim.Time
+	t = warmup
+	t *= 2 // scaling by a dimensionless factor keeps the unit
+	t += sim.Microsecond
+	_ = t
+	return config{Warmup: warmup, Measure: 0, Tries: 3}
+}

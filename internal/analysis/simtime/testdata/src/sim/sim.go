@@ -1,0 +1,17 @@
+// Package sim is a fixture stand-in for repro/internal/sim: the
+// simtime analyzer matches the Time type by package name so fixtures
+// do not have to import the real module.
+package sim
+
+type Time int64
+
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+)
+
+func Sleep(d Time)           {}
+func Between(lo, hi Time)    {}
+func All(ds ...Time)         {}
+func TakesInt(n int, d Time) {}

@@ -207,8 +207,8 @@ func TestMixByName(t *testing.T) {
 
 func TestScaleAdaptationPreservesExplicit(t *testing.T) {
 	o := core.Smart()
-	o.UpdateDelta = 123
-	o.RetryWindow = 456
+	o.UpdateDelta = 123 * sim.Nanosecond
+	o.RetryWindow = 456 * sim.Nanosecond
 	s := ScaleAdaptation(o)
 	if s.UpdateDelta != 123 || s.RetryWindow != 456 {
 		t.Fatal("explicit settings overridden")

@@ -29,6 +29,7 @@ func ByID(id string) *Experiment { return registry[id] }
 // All returns every experiment in ID order.
 func All() []*Experiment {
 	ids := make([]string, 0, len(registry))
+	//smartlint:ignore maporder — ids are sorted on the next line
 	for id := range registry {
 		ids = append(ids, id)
 	}

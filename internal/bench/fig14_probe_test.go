@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -23,7 +24,7 @@ func TestFig14Probe(t *testing.T) {
 		return RunHT(HTConfig{
 			Opts: opts, ThreadsPerBlade: threads,
 			Theta: 0.99, Mix: workload.UpdateOnly, Seed: 5, Keys: 100_000,
-			Measure: 4_000_000,
+			Measure: 4 * sim.Millisecond,
 		})
 	}
 	noCA := point(caConfig(false, false, false), 96)

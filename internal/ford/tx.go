@@ -3,6 +3,7 @@ package ford
 import (
 	"encoding/binary"
 	"errors"
+	"sort"
 
 	"repro/internal/blade"
 	"repro/internal/core"
@@ -160,7 +161,18 @@ func (tx *Tx) Commit() error {
 		copy(img[16:], e.data)
 		perBlade[e.addr.Blade] = append(perBlade[e.addr.Blade], img...)
 	}
-	for bladeID, img := range perBlade {
+	// Iterate blades in sorted order: map order is randomized per run,
+	// and the order these WRITEs are posted is visible to the simulator's
+	// event schedule, so ranging the map directly would make same-seed
+	// runs diverge.
+	bladeIDs := make([]int, 0, len(perBlade))
+	//smartlint:ignore maporder — bladeIDs is sorted immediately below
+	for bladeID := range perBlade {
+		bladeIDs = append(bladeIDs, bladeID)
+	}
+	sort.Ints(bladeIDs)
+	for _, bladeID := range bladeIDs {
+		img := perBlade[bladeID]
 		l := tx.db.logFor(c.T.ID, bladeID)
 		c.Write(l.next(uint64(len(img))), img)
 	}

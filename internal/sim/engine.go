@@ -73,21 +73,20 @@ func (h *eventHeap) Pop() interface{} {
 // Engine is a discrete-event simulator. The zero value is not usable;
 // construct one with New.
 type Engine struct {
-	now      Time
-	heap     eventHeap
-	seq      uint64
-	rng      *rand.Rand
-	shutdown chan struct{}
-	stopped  bool
-	procs    int // live (started, not finished) processes, for diagnostics
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	procs   int     // live (started, not finished) processes, for diagnostics
+	live    []*Proc // every process ever spawned; Stop unwinds the parked ones
 }
 
 // New returns an engine whose clock starts at zero and whose random
 // stream is seeded with seed. Equal seeds give identical runs.
 func New(seed int64) *Engine {
 	return &Engine{
-		rng:      rand.New(rand.NewSource(seed)),
-		shutdown: make(chan struct{}),
+		rng: rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -160,12 +159,29 @@ func (e *Engine) Step() bool {
 
 // Stop terminates the simulation: all parked processes are unwound and
 // their goroutines exit. After Stop the engine must not be reused.
-// Stop is idempotent.
+// Stop is idempotent. It must be called from outside the simulation
+// (never from a process body or event callback), and deferred cleanup
+// in process bodies must not block on simulation primitives.
+//
+// Processes are unwound ONE AT A TIME: each parked process's kill
+// channel is closed and Stop waits for its goroutine to finish
+// unwinding (dead closes) before touching the next. Deferred cleanups
+// in process bodies (credit releases, per-thread stats in
+// core.Ctx.EndOp) write state shared by a thread's coroutines, so
+// waking every parked process at once — the obvious close-a-global-
+// channel design — makes those defers race with each other during
+// teardown even though the live baton discipline is sound.
 func (e *Engine) Stop() {
 	if e.stopped {
 		return
 	}
 	e.stopped = true
 	e.heap = nil
-	close(e.shutdown)
+	for _, p := range e.live {
+		if !p.done {
+			close(p.kill)
+			<-p.dead
+		}
+	}
+	e.live = nil
 }

@@ -7,8 +7,8 @@ func TestPendingCount(t *testing.T) {
 	if e.Pending() != 0 {
 		t.Fatal("fresh engine has pending events")
 	}
-	e.Schedule(10, func() {})
-	e.Schedule(20, func() {})
+	e.Schedule(10*Nanosecond, func() {})
+	e.Schedule(20*Nanosecond, func() {})
 	if e.Pending() != 2 {
 		t.Fatalf("Pending = %d", e.Pending())
 	}
@@ -21,7 +21,7 @@ func TestPendingCount(t *testing.T) {
 func TestStopIdempotentAndDropsEvents(t *testing.T) {
 	e := New(1)
 	fired := false
-	e.Schedule(5, func() { fired = true })
+	e.Schedule(5*Nanosecond, func() { fired = true })
 	e.Stop()
 	e.Stop() // must not panic
 	e.Run(0)
@@ -29,7 +29,7 @@ func TestStopIdempotentAndDropsEvents(t *testing.T) {
 		t.Fatal("event fired after Stop")
 	}
 	// Scheduling after Stop is a no-op.
-	e.Schedule(1, func() { fired = true })
+	e.Schedule(1*Nanosecond, func() { fired = true })
 	e.Run(0)
 	if fired {
 		t.Fatal("post-Stop schedule fired")
@@ -52,7 +52,7 @@ func TestNestedScheduling(t *testing.T) {
 	recurse = func() {
 		depth++
 		if depth < 100 {
-			e.Schedule(1, recurse)
+			e.Schedule(1*Nanosecond, recurse)
 		}
 	}
 	e.Schedule(0, recurse)

@@ -8,9 +8,9 @@ import (
 func TestScheduleOrdering(t *testing.T) {
 	e := New(1)
 	var got []int
-	e.Schedule(30, func() { got = append(got, 3) })
-	e.Schedule(10, func() { got = append(got, 1) })
-	e.Schedule(20, func() { got = append(got, 2) })
+	e.Schedule(30*Nanosecond, func() { got = append(got, 3) })
+	e.Schedule(10*Nanosecond, func() { got = append(got, 1) })
+	e.Schedule(20*Nanosecond, func() { got = append(got, 2) })
 	e.Run(0)
 	want := []int{1, 2, 3}
 	for i := range want {
@@ -28,7 +28,7 @@ func TestScheduleSameTimeFIFO(t *testing.T) {
 	var got []int
 	for i := 0; i < 10; i++ {
 		i := i
-		e.Schedule(5, func() { got = append(got, i) })
+		e.Schedule(5*Nanosecond, func() { got = append(got, i) })
 	}
 	e.Run(0)
 	for i := range got {
@@ -41,8 +41,8 @@ func TestScheduleSameTimeFIFO(t *testing.T) {
 func TestRunUntilStopsClock(t *testing.T) {
 	e := New(1)
 	fired := false
-	e.Schedule(100, func() { fired = true })
-	e.Run(50)
+	e.Schedule(100*Nanosecond, func() { fired = true })
+	e.Run(50 * Nanosecond)
 	if fired {
 		t.Fatal("event past horizon fired")
 	}
@@ -57,7 +57,7 @@ func TestRunUntilStopsClock(t *testing.T) {
 
 func TestRunAdvancesToUntilWhenIdle(t *testing.T) {
 	e := New(1)
-	e.Run(77)
+	e.Run(77 * Nanosecond)
 	if e.Now() != 77 {
 		t.Fatalf("Now = %v, want 77", e.Now())
 	}
@@ -65,8 +65,8 @@ func TestRunAdvancesToUntilWhenIdle(t *testing.T) {
 
 func TestNegativeDelayClamped(t *testing.T) {
 	e := New(1)
-	e.Schedule(10, func() {
-		e.Schedule(-5, func() {
+	e.Schedule(10*Nanosecond, func() {
+		e.Schedule(-5*Nanosecond, func() {
 			if e.Now() != 10 {
 				t.Errorf("negative delay fired at %v, want 10", e.Now())
 			}
@@ -77,8 +77,8 @@ func TestNegativeDelayClamped(t *testing.T) {
 
 func TestScheduleAtPastClamped(t *testing.T) {
 	e := New(1)
-	e.Schedule(10, func() {
-		e.ScheduleAt(3, func() {
+	e.Schedule(10*Nanosecond, func() {
+		e.ScheduleAt(3*Nanosecond, func() {
 			if e.Now() != 10 {
 				t.Errorf("past event fired at %v, want 10", e.Now())
 			}
@@ -90,8 +90,8 @@ func TestScheduleAtPastClamped(t *testing.T) {
 func TestStep(t *testing.T) {
 	e := New(1)
 	n := 0
-	e.Schedule(1, func() { n++ })
-	e.Schedule(2, func() { n++ })
+	e.Schedule(1*Nanosecond, func() { n++ })
+	e.Schedule(2*Nanosecond, func() { n++ })
 	if !e.Step() || n != 1 {
 		t.Fatalf("first Step: n=%d", n)
 	}
@@ -160,8 +160,8 @@ func TestTimeString(t *testing.T) {
 		t    Time
 		want string
 	}{
-		{500, "500ns"},
-		{1500, "1.500us"},
+		{500 * Nanosecond, "500ns"},
+		{1500 * Nanosecond, "1.500us"},
 		{2 * Millisecond, "2.000ms"},
 		{3 * Second, "3.000s"},
 	}

@@ -3,11 +3,41 @@ package sim
 // Proc is a simulated process: a goroutine that runs in lockstep with
 // the engine. Exactly one of {engine, some process} executes at a time.
 // Compute-blade threads and SMART coroutines are both modeled as Procs.
+//
+// Race-freedom of the handoff. Although every Proc is a real
+// goroutine, engine state (Engine.now, the event heap, Engine.procs)
+// and process state (Proc.done) are accessed without locks. This is
+// sound because control is passed like a baton over the two unbuffered
+// channels, and each baton pass is a happens-before edge:
+//
+//   - engine -> process: activate's send on p.resume happens-before
+//     block's receive, so every engine-side write (heap pops, clock
+//     advance) is visible to the process when it resumes;
+//   - process -> engine: park's (or the final handoff's) send on
+//     p.yield happens-before activate's receive, so every
+//     process-side write (events scheduled via Schedule, procs--,
+//     done = true) is visible to the engine before it runs again;
+//   - shutdown: Stop closes one parked process's kill channel at a
+//     time and waits for that goroutine's dead channel to close before
+//     unwinding the next, so the close(kill) -> select receive ->
+//     killProc unwind -> close(dead) -> Stop's receive chain serializes
+//     teardown: deferred cleanups in process bodies (which touch state
+//     shared by a thread's coroutines) never run concurrently, and all
+//     of their writes are visible when Stop returns.
+//
+// Between a resume-send and the matching yield-receive the engine
+// goroutine is blocked (activate is synchronous), and a process
+// goroutine only runs between a resume-receive and its next
+// yield-send, so the baton chain alternates strictly and no two
+// accesses to shared state are ever concurrent. `go test -race
+// ./internal/sim/...` (wired into CI) checks this invariant.
 type Proc struct {
 	eng    *Engine
 	name   string
 	resume chan struct{} // engine -> process: continue running
 	yield  chan struct{} // process -> engine: I have parked or finished
+	kill   chan struct{} // closed by Stop: unwind via killProc
+	dead   chan struct{} // closed by the goroutine once fully unwound
 	done   bool
 }
 
@@ -25,9 +55,13 @@ func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
 		name:   name,
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
+		kill:   make(chan struct{}),
+		dead:   make(chan struct{}),
 	}
 	e.procs++
+	e.live = append(e.live, p)
 	go func() {
+		defer close(p.dead) // runs last: the goroutine is fully unwound
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(killProc); ok {
@@ -73,7 +107,7 @@ func (p *Proc) activate() {
 func (p *Proc) block() {
 	select {
 	case <-p.resume:
-	case <-p.eng.shutdown:
+	case <-p.kill:
 		panic(killProc{})
 	}
 }

@@ -8,9 +8,9 @@ func TestProcSleep(t *testing.T) {
 	var at []Time
 	e.Go("p", func(p *Proc) {
 		at = append(at, p.Now())
-		p.Sleep(100)
+		p.Sleep(100 * Nanosecond)
 		at = append(at, p.Now())
-		p.Sleep(50)
+		p.Sleep(50 * Nanosecond)
 		at = append(at, p.Now())
 	})
 	e.Run(0)
@@ -28,12 +28,12 @@ func TestProcInterleaving(t *testing.T) {
 	var order []string
 	e.Go("a", func(p *Proc) {
 		order = append(order, "a0")
-		p.Sleep(10)
+		p.Sleep(10 * Nanosecond)
 		order = append(order, "a1")
 	})
 	e.Go("b", func(p *Proc) {
 		order = append(order, "b0")
-		p.Sleep(5)
+		p.Sleep(5 * Nanosecond)
 		order = append(order, "b1")
 	})
 	e.Run(0)
@@ -48,7 +48,7 @@ func TestProcInterleaving(t *testing.T) {
 func TestProcDoneAndCount(t *testing.T) {
 	e := New(1)
 	defer e.Stop()
-	p := e.Go("p", func(p *Proc) { p.Sleep(1) })
+	p := e.Go("p", func(p *Proc) { p.Sleep(1 * Nanosecond) })
 	if e.Procs() != 1 {
 		t.Fatalf("Procs = %d, want 1", e.Procs())
 	}
@@ -70,7 +70,7 @@ func TestSuspendWake(t *testing.T) {
 		woke = p.Now()
 	})
 	e.Go("waker", func(q *Proc) {
-		q.Sleep(40)
+		q.Sleep(40 * Nanosecond)
 		p.Wake()
 	})
 	e.Run(0)
@@ -84,7 +84,7 @@ func TestWakeAfterDoneIsIgnored(t *testing.T) {
 	defer e.Stop()
 	p := e.Go("quick", func(p *Proc) {})
 	e.Go("late", func(q *Proc) {
-		q.Sleep(10)
+		q.Sleep(10 * Nanosecond)
 		p.Wake() // must not deadlock
 	})
 	e.Run(0)
@@ -98,6 +98,29 @@ func TestStopUnwindsParkedProcs(t *testing.T) {
 	e.Go("stuck", func(p *Proc) { p.Suspend() })
 	e.Run(0)
 	e.Stop() // must not hang or panic; the goroutine unwinds
+}
+
+// TestStopSerializesUnwind pins the teardown contract: deferred
+// cleanups in process bodies often write state shared by many
+// coroutines (core.Ctx.EndOp bumps per-thread stats), so Stop must
+// unwind parked processes one at a time. Waking them all at once made
+// these lock-free defers run concurrently — a data race this test
+// catches under -race, and a lost-update miscount even without it.
+func TestStopSerializesUnwind(t *testing.T) {
+	e := New(1)
+	const n = 64
+	shared := 0
+	for i := 0; i < n; i++ {
+		e.Go("worker", func(p *Proc) {
+			defer func() { shared++ }()
+			p.Suspend() // parked here until Stop unwinds us
+		})
+	}
+	e.Run(0)
+	e.Stop()
+	if shared != n {
+		t.Fatalf("after Stop, shared = %d, want %d (unwind defers lost updates)", shared, n)
+	}
 }
 
 func TestProcName(t *testing.T) {

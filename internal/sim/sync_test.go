@@ -19,10 +19,10 @@ func TestMutexMutualExclusion(t *testing.T) {
 				if inside > maxInside {
 					maxInside = inside
 				}
-				p.Sleep(10)
+				p.Sleep(10 * Nanosecond)
 				inside--
 				m.Unlock()
-				p.Sleep(1)
+				p.Sleep(1 * Nanosecond)
 			}
 		})
 	}
@@ -43,7 +43,7 @@ func TestMutexFCFS(t *testing.T) {
 	// Holder takes the lock first; contenders arrive in a known order.
 	e.Go("holder", func(p *Proc) {
 		m.Lock(p)
-		p.Sleep(100)
+		p.Sleep(100 * Nanosecond)
 		m.Unlock()
 	})
 	for i := 0; i < 5; i++ {
@@ -69,7 +69,7 @@ func TestMutexWaitersAndStats(t *testing.T) {
 	m := NewMutex(e)
 	e.Go("holder", func(p *Proc) {
 		m.Lock(p)
-		p.Sleep(100)
+		p.Sleep(100 * Nanosecond)
 		if m.Waiters() != 2 {
 			t.Errorf("Waiters = %d, want 2", m.Waiters())
 		}
@@ -77,7 +77,7 @@ func TestMutexWaitersAndStats(t *testing.T) {
 	})
 	for i := 0; i < 2; i++ {
 		e.Go("w", func(p *Proc) {
-			p.Sleep(10)
+			p.Sleep(10 * Nanosecond)
 			m.Lock(p)
 			m.Unlock()
 		})
@@ -125,7 +125,7 @@ func TestCreditsBasic(t *testing.T) {
 		acquiredAt = p.Now()
 	})
 	e.Go("refill", func(p *Proc) {
-		p.Sleep(50)
+		p.Sleep(50 * Nanosecond)
 		c.Release(2)
 	})
 	e.Run(0)
@@ -147,13 +147,13 @@ func TestCreditsFIFONoStarvation(t *testing.T) {
 		order = append(order, "big")
 	})
 	e.Go("small", func(p *Proc) {
-		p.Sleep(1)
+		p.Sleep(1 * Nanosecond)
 		c.Acquire(p, 1)
 		order = append(order, "small")
 	})
 	e.Go("drip", func(p *Proc) {
 		for i := 0; i < 6; i++ {
-			p.Sleep(10)
+			p.Sleep(10 * Nanosecond)
 			c.Release(1)
 		}
 	})
@@ -171,13 +171,13 @@ func TestCreditsNegativeAdd(t *testing.T) {
 	if c.Available() != -4 {
 		t.Fatalf("Available = %d, want -4", c.Available())
 	}
-	var got Time = -1
+	var got Time = -1 * Nanosecond
 	e.Go("p", func(p *Proc) {
 		c.Acquire(p, 1)
 		got = p.Now()
 	})
 	e.Go("refill", func(p *Proc) {
-		p.Sleep(5)
+		p.Sleep(5 * Nanosecond)
 		c.Add(6) // brings balance to 2
 	})
 	e.Run(0)
@@ -222,14 +222,14 @@ func TestWaitQueueSignalBroadcast(t *testing.T) {
 		})
 	}
 	e.Go("ctl", func(p *Proc) {
-		p.Sleep(10)
+		p.Sleep(10 * Nanosecond)
 		if w.Len() != 3 {
 			t.Errorf("Len = %d, want 3", w.Len())
 		}
 		if !w.Signal() {
 			t.Error("Signal returned false with waiters")
 		}
-		p.Sleep(10)
+		p.Sleep(10 * Nanosecond)
 		w.Broadcast()
 	})
 	e.Run(0)
@@ -246,9 +246,9 @@ func TestServerFIFOAndUtilization(t *testing.T) {
 	s := NewServer(e)
 	var done []Time
 	e.Schedule(0, func() {
-		s.Submit(10, func() { done = append(done, e.Now()) })
-		s.Submit(10, func() { done = append(done, e.Now()) })
-		s.Submit(5, func() { done = append(done, e.Now()) })
+		s.Submit(10*Nanosecond, func() { done = append(done, e.Now()) })
+		s.Submit(10*Nanosecond, func() { done = append(done, e.Now()) })
+		s.Submit(5*Nanosecond, func() { done = append(done, e.Now()) })
 	})
 	e.Run(0)
 	want := []Time{10, 20, 25}
@@ -266,12 +266,12 @@ func TestServerIdleGap(t *testing.T) {
 	e := New(1)
 	s := NewServer(e)
 	var second Time
-	e.Schedule(0, func() { s.Submit(10, nil) })
-	e.Schedule(100, func() {
+	e.Schedule(0, func() { s.Submit(10*Nanosecond, nil) })
+	e.Schedule(100*Nanosecond, func() {
 		if d := s.QueueDelay(); d != 0 {
 			t.Errorf("QueueDelay = %v, want 0 when idle", d)
 		}
-		s.Submit(7, func() { second = e.Now() })
+		s.Submit(7*Nanosecond, func() { second = e.Now() })
 	})
 	e.Run(0)
 	if second != 107 {
@@ -283,7 +283,7 @@ func TestServerQueueDelay(t *testing.T) {
 	e := New(1)
 	s := NewServer(e)
 	e.Schedule(0, func() {
-		s.Submit(40, nil)
+		s.Submit(40*Nanosecond, nil)
 		if d := s.QueueDelay(); d != 40 {
 			t.Errorf("QueueDelay = %v, want 40", d)
 		}

@@ -8,11 +8,11 @@ import (
 )
 
 func TestSeriesBucketing(t *testing.T) {
-	s := NewSeries(100)
+	s := NewSeries(100 * sim.Nanosecond)
 	s.Add(0, 1)
-	s.Add(99, 2)
-	s.Add(100, 5)
-	s.Add(250, 7)
+	s.Add(99*sim.Nanosecond, 2)
+	s.Add(100*sim.Nanosecond, 5)
+	s.Add(250*sim.Nanosecond, 7)
 	got := s.Buckets()
 	want := []uint64{3, 5, 7}
 	if len(got) != len(want) {
@@ -37,10 +37,10 @@ func TestSeriesRate(t *testing.T) {
 }
 
 func TestSeriesMinMaxIgnoresPartialTail(t *testing.T) {
-	s := NewSeries(100)
-	s.Add(50, 10)
-	s.Add(150, 20)
-	s.Add(250, 1) // partial tail bucket, ignored
+	s := NewSeries(100 * sim.Nanosecond)
+	s.Add(50*sim.Nanosecond, 10)
+	s.Add(150*sim.Nanosecond, 20)
+	s.Add(250*sim.Nanosecond, 1) // partial tail bucket, ignored
 	// 10 events per 100 ns window = 100 events/us.
 	min, max := s.MinMaxRate()
 	if min != 100 || max != 200 {
@@ -49,9 +49,9 @@ func TestSeriesMinMaxIgnoresPartialTail(t *testing.T) {
 }
 
 func TestSeriesSparkline(t *testing.T) {
-	s := NewSeries(10)
-	s.Add(5, 1)
-	s.Add(15, 8)
+	s := NewSeries(10 * sim.Nanosecond)
+	s.Add(5*sim.Nanosecond, 1)
+	s.Add(15*sim.Nanosecond, 8)
 	line := s.Sparkline()
 	if len([]rune(line)) != 2 {
 		t.Fatalf("sparkline = %q", line)
@@ -62,7 +62,7 @@ func TestSeriesSparkline(t *testing.T) {
 }
 
 func TestSeriesEmpty(t *testing.T) {
-	s := NewSeries(10)
+	s := NewSeries(10 * sim.Nanosecond)
 	if s.Sparkline() != "" {
 		t.Fatal("nonempty sparkline for empty series")
 	}

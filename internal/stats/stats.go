@@ -217,6 +217,7 @@ func (d *CountDist) Merge(o *CountDist) {
 // String renders the distribution in ascending value order.
 func (d *CountDist) String() string {
 	keys := make([]int, 0, len(d.counts))
+	//smartlint:ignore maporder — keys are sorted on the next line
 	for k := range d.counts {
 		keys = append(keys, k)
 	}

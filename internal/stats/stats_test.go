@@ -50,8 +50,8 @@ func TestHistQuantileAccuracy(t *testing.T) {
 
 func TestHistQuantileEdges(t *testing.T) {
 	h := NewHist()
-	h.Add(500)
-	h.Add(1000)
+	h.Add(500 * sim.Nanosecond)
+	h.Add(1000 * sim.Nanosecond)
 	if h.Quantile(0) != 500 {
 		t.Fatalf("Q(0) = %v", h.Quantile(0))
 	}
@@ -87,9 +87,9 @@ func TestHistQuantileMonotoneProperty(t *testing.T) {
 
 func TestHistResetAndMerge(t *testing.T) {
 	a, b := NewHist(), NewHist()
-	a.Add(100)
-	b.Add(300)
-	b.Add(500)
+	a.Add(100 * sim.Nanosecond)
+	b.Add(300 * sim.Nanosecond)
+	b.Add(500 * sim.Nanosecond)
 	a.Merge(b)
 	if a.Count() != 3 || a.Min() != 100 || a.Max() != 500 {
 		t.Fatalf("after merge: count=%d min=%v max=%v", a.Count(), a.Min(), a.Max())
@@ -98,7 +98,7 @@ func TestHistResetAndMerge(t *testing.T) {
 	if a.Count() != 0 || a.Max() != 0 {
 		t.Fatal("reset did not clear")
 	}
-	a.Add(7)
+	a.Add(7 * sim.Nanosecond)
 	if a.Min() != 7 {
 		t.Fatal("min wrong after reset")
 	}

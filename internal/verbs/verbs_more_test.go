@@ -49,12 +49,12 @@ func TestCQWaitersServedFCFSByNeed(t *testing.T) {
 		order = append(order, "big")
 	})
 	r.eng.Go("waiter-small", func(p *sim.Proc) {
-		p.Sleep(1)
+		p.Sleep(1 * sim.Nanosecond)
 		cq.WaitN(p, 1)
 		order = append(order, "small")
 	})
 	r.eng.Go("producer", func(p *sim.Proc) {
-		p.Sleep(10)
+		p.Sleep(10 * sim.Nanosecond)
 		for i := 0; i < 4; i++ {
 			qp.PostSend(p, Read(addr, make([]byte, 8)))
 			p.Sleep(20 * sim.Microsecond)
