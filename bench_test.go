@@ -11,12 +11,13 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/result"
 	"repro/internal/rnic"
 	"repro/internal/workload"
 )
 
 // runExperiment executes the quick sweep of one experiment per b.N,
-// printing the regenerated rows/series so the benchmark log carries
+// rendering the regenerated rows/series so the benchmark log carries
 // the paper's tables and figures.
 func runExperiment(b *testing.B, id string) {
 	e := bench.ByID(id)
@@ -24,7 +25,7 @@ func runExperiment(b *testing.B, id string) {
 		b.Fatalf("unknown experiment %q", id)
 	}
 	for i := 0; i < b.N; i++ {
-		e.Run(os.Stdout, true)
+		result.Text(os.Stdout, e.Run(true, 0))
 	}
 }
 

@@ -3,40 +3,63 @@
 //
 // Usage:
 //
-//	smartbench -list                 # show available experiments
-//	smartbench -exp fig3             # run one experiment (full sweep)
-//	smartbench -exp fig7,fig8 -quick # sparse sweeps for a fast pass
-//	smartbench -exp all              # everything (takes a while)
+//	smartbench -list                       # show available experiments
+//	smartbench -exp fig3                   # run one experiment (full sweep)
+//	smartbench -exp fig7,fig8 -quick       # sparse sweeps for a fast pass
+//	smartbench -exp all -quick -check \
+//	    -format json -out bench_quick.json # machine-readable + shape gate
+//
+// Exit status: 0 on success, 1 when -check finds shape violations,
+// 2 on usage errors (no -exp, unknown ID, bad flag values).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/result"
 )
 
 func main() {
-	var (
-		exp   = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
-		quick = flag.Bool("quick", false, "sparse sweeps (faster, fewer points)")
-		list  = flag.Bool("list", false, "list experiments and exit")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *list || *exp == "" {
-		fmt.Println("experiments:")
-		for _, e := range bench.All() {
-			fmt.Printf("  %-6s %s\n", e.ID, e.Title)
-		}
-		if *exp == "" && !*list {
-			fmt.Println("\nrun with -exp <id> (or -exp all)")
-			os.Exit(2)
-		}
-		return
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("smartbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp    = fs.String("exp", "", "experiment id(s), comma separated, or 'all'")
+		quick  = fs.Bool("quick", false, "sparse sweeps (faster, fewer points)")
+		list   = fs.Bool("list", false, "list experiments and exit")
+		format = fs.String("format", "text", "output format: text or json")
+		out    = fs.String("out", "", "write rendered output to this file instead of stdout")
+		check  = fs.Bool("check", false, "assert the paper's qualitative shapes; exit 1 on violations")
+		seed   = fs.Int64("seed", 0, "offset every experiment's built-in seeds (0 = published numbers)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		printList(stdout)
+		return 0
+	}
+	if *exp == "" {
+		// Usage error: same message shape and exit code whether the
+		// binary was run bare or with unrelated flags.
+		fmt.Fprintln(stderr, "smartbench: no experiment selected; run with -exp <id> (or -exp all)")
+		fs.Usage()
+		printList(stderr)
+		return 2
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "smartbench: unknown -format %q (want text or json)\n", *format)
+		return 2
 	}
 
 	var selected []*bench.Experiment
@@ -44,19 +67,128 @@ func main() {
 		selected = bench.All()
 	} else {
 		for _, id := range strings.Split(*exp, ",") {
-			e := bench.ByID(strings.TrimSpace(id))
+			id = strings.TrimSpace(id)
+			e := bench.ByID(id)
 			if e == nil {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", id)
-				os.Exit(2)
+				msg := fmt.Sprintf("smartbench: unknown experiment %q", id)
+				if near := nearestID(id); near != "" {
+					msg += fmt.Sprintf("; did you mean %q?", near)
+				} else {
+					msg += "; try -list"
+				}
+				fmt.Fprintln(stderr, msg)
+				return 2
 			}
 			selected = append(selected, e)
 		}
 	}
 
+	// With -format json the document must be the only bytes on the
+	// render stream, so progress goes to stderr; text output keeps the
+	// banners inline as before.
+	render := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "smartbench: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		render = f
+	}
+	progress := stderr
+	if *format == "text" && *out == "" {
+		progress = stdout
+	}
+
+	doc := &result.Document{
+		Generator: "smartbench",
+		Paper:     "Scaling Up Memory Disaggregated Applications with SMART (ASPLOS 2024)",
+		Quick:     *quick,
+		Seed:      *seed,
+	}
+	var violations []bench.Violation
 	for _, e := range selected {
 		start := time.Now()
-		fmt.Printf("\n################ %s: %s\n", e.ID, e.Title)
-		e.Run(os.Stdout, *quick)
-		fmt.Printf("\n[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(progress, "\n################ %s: %s\n", e.ID, e.Title)
+		tables := e.Run(*quick, *seed)
+		doc.Experiments = append(doc.Experiments, result.Experiment{
+			ID: e.ID, Title: e.Title, Tables: tables,
+		})
+		if *format == "text" {
+			result.Text(render, tables)
+		}
+		if *check {
+			violations = append(violations, bench.Check(e.ID, tables)...)
+		}
+		fmt.Fprintf(progress, "\n[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	if *format == "json" {
+		if err := result.JSON(render, doc); err != nil {
+			fmt.Fprintf(stderr, "smartbench: %v\n", err)
+			return 2
+		}
+	}
+
+	if *check {
+		if len(violations) > 0 {
+			fmt.Fprintf(stderr, "\nsmartbench: %d shape violation(s):\n", len(violations))
+			for _, v := range violations {
+				fmt.Fprintf(stderr, "  FAIL %-38s %s\n", v.Check, v.Detail)
+			}
+			return 1
+		}
+		fmt.Fprintf(progress, "\nsmartbench: all shape checks passed\n")
+	}
+	return 0
+}
+
+func printList(w io.Writer) {
+	fmt.Fprintln(w, "experiments:")
+	for _, e := range bench.All() {
+		fmt.Fprintf(w, "  %-12s %s\n", e.ID, e.Title)
+	}
+}
+
+// nearestID returns the registered experiment ID with the smallest
+// edit distance from id, or "" when nothing is plausibly close.
+func nearestID(id string) string {
+	best, bestDist := "", len(id)/2+2
+	for _, e := range bench.All() {
+		if d := editDistance(id, e.ID); d < bestDist {
+			best, bestDist = e.ID, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = minOf(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func minOf(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
 }

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartDeterministic pins the example to the repo-wide
+// same-seed contract: two runs with equal seeds must produce
+// byte-identical narration and identical measured state, and a
+// different seed must still complete the same logical work.
+func TestQuickstartDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	sa := run(&a, 1)
+	sb := run(&b, 1)
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different output:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+	}
+	if sa != sb {
+		t.Fatalf("same seed produced different summaries: %+v vs %+v", sa, sb)
+	}
+	for _, want := range []string{
+		"hello, disaggregated memory!",
+		"batched 2 READs in one doorbell ring",
+		"CAS 30 -> 1000 succeeded",
+		"final counter value: 1000",
+		"ok",
+	} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, a.String())
+		}
+	}
+	if sa.counter != 1000 {
+		t.Errorf("counter = %d, want 1000 after the CAS", sa.counter)
+	}
+	if sa.completed == 0 {
+		t.Error("RNIC completed no work requests")
+	}
+
+	var c bytes.Buffer
+	sc := run(&c, 2)
+	if sc.counter != 1000 || sc.completed == 0 {
+		t.Errorf("seed 2 run broken: %+v", sc)
+	}
+}

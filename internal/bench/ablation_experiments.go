@@ -2,9 +2,9 @@ package bench
 
 import (
 	"fmt"
-	"io"
 
 	"repro/internal/core"
+	"repro/internal/result"
 	"repro/internal/rnic"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -20,13 +20,14 @@ func init() {
 	register(&Experiment{
 		ID:    "abl-db",
 		Title: "Ablation: medium-latency doorbell count vs 96-thread READ throughput",
-		Run: func(w io.Writer, quick bool) {
+		Run: func(quick bool, seed int64) []result.Table {
 			counts := []int{1, 2, 4, 8, 12, 24, 48, 96, 192, 512}
 			if quick {
 				counts = []int{4, 12, 96}
 			}
-			header(w, "Ablation — MOPS vs doorbell registers (96 threads, per-thread QPs, batch 8)")
-			fmt.Fprintf(w, "%10s %10s\n", "doorbells", "MOPS")
+			t := result.NewTable("abl-db",
+				"Ablation — MOPS vs doorbell registers (96 threads, per-thread QPs, batch 8)", "doorbells")
+			t.YUnit, t.Prec = "MOPS", 1
 			for _, n := range counts {
 				// Pin the doorbell count by cloning params: the policy
 				// raises medium DBs to min(threads, MaxDoorbells).
@@ -35,99 +36,121 @@ func init() {
 				p.DefaultMediumDBs = minInt(n, p.DefaultMediumDBs)
 				r := RunMicro(MicroConfig{
 					Opts: core.Baseline(core.PerThreadDoorbell), Threads: 96, Batch: 8,
-					Op: rnic.OpRead, Seed: 41, Params: &p,
+					Op: rnic.OpRead, Seed: 41 + seed, Params: &p,
 				})
-				fmt.Fprintf(w, "%10d %10.1f\n", n, r.MOPS)
+				t.Add("MOPS", float64(n), r.MOPS)
 			}
+			return []result.Table{*t}
 		},
 	})
 
 	register(&Experiment{
 		ID:    "abl-wqe",
 		Title: "Ablation: WQE cache size vs throughput at 96 threads x 32 OWRs",
-		Run: func(w io.Writer, quick bool) {
+		Run: func(quick bool, seed int64) []result.Table {
 			sizes := []int{256, 512, 1024, 2048, 4096, 8192}
 			if quick {
 				sizes = []int{512, 1024, 4096}
 			}
-			header(w, "Ablation — MOPS and DMA bytes/WR vs WQE cache entries (96x32)")
-			fmt.Fprintf(w, "%10s %10s %12s\n", "entries", "MOPS", "DMA B/WR")
+			t := result.NewTable("abl-wqe",
+				"Ablation — MOPS and DMA bytes/WR vs WQE cache entries (96x32)", "entries")
+			t.Def("MOPS", "", 1)
+			t.Def("DMA", "B/WR", 0)
 			for _, n := range sizes {
 				p := rnic.Default()
 				p.WQECacheEntries = n
 				r := RunMicro(MicroConfig{
 					Opts: core.Baseline(core.PerThreadDoorbell), Threads: 96, Batch: 32,
-					Op: rnic.OpRead, Seed: 42, Params: &p,
+					Op: rnic.OpRead, Seed: 42 + seed, Params: &p,
 				})
-				fmt.Fprintf(w, "%10d %10.1f %12.0f\n", n, r.MOPS, r.DMABytesPerWR)
+				t.Add("MOPS", float64(n), r.MOPS)
+				t.Add("DMA", float64(n), r.DMABytesPerWR)
 			}
+			return []result.Table{*t}
 		},
 	})
 
 	register(&Experiment{
 		ID:    "abl-gamma",
 		Title: "Ablation: conflict-avoidance watermarks under 100% skewed updates (96 threads)",
-		Run: func(w io.Writer, quick bool) {
+		Run: func(quick bool, seed int64) []result.Table {
 			marks := []struct{ hi, lo float64 }{
 				{0.25, 0.05}, {0.5, 0.1}, {0.75, 0.25}, {0.9, 0.5},
 			}
 			if quick {
 				marks = marks[:2]
 			}
-			header(w, "Ablation — γ_H/γ_L sensitivity (SMART-HT, update-only, Zipf 0.99)")
-			fmt.Fprintf(w, "%6s %6s %10s %12s\n", "γ_H", "γ_L", "MOPS", "retries/upd")
+			t := result.NewTable("abl-gamma",
+				"Ablation — γ_H/γ_L sensitivity (SMART-HT, update-only, Zipf 0.99)", "γ_H/γ_L")
+			t.Def("MOPS", "", 2)
+			t.Def("retries/upd", "", 2)
 			for _, m := range marks {
 				opts := core.Smart()
 				opts.GammaHigh, opts.GammaLow = m.hi, m.lo
 				r := runHTQ(quick, HTConfig{
 					Opts: opts, ThreadsPerBlade: 96,
-					Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 43,
+					Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 43 + seed,
 				})
-				fmt.Fprintf(w, "%6.2f %6.2f %10.2f %12.2f\n", m.hi, m.lo, r.MOPS, r.AvgRetries)
+				label := fmt.Sprintf("%.2f/%.2f", m.hi, m.lo)
+				t.AddLabeled("MOPS", m.hi, label, r.MOPS)
+				t.AddLabeled("retries/upd", m.hi, label, r.AvgRetries)
 			}
+			return []result.Table{*t}
 		},
 	})
 
 	register(&Experiment{
 		ID:    "abl-t0",
 		Title: "Ablation: backoff unit t0 under 100% skewed updates (96 threads)",
-		Run: func(w io.Writer, quick bool) {
+		Run: func(quick bool, seed int64) []result.Table {
 			units := []sim.Time{800, 1600, 3300, 6600, 13200}
 			if quick {
 				units = []sim.Time{1600, 3300, 13200}
 			}
-			header(w, "Ablation — backoff unit sensitivity (SMART-HT, update-only, Zipf 0.99)")
-			fmt.Fprintf(w, "%10s %10s %12s %12s\n", "t0", "MOPS", "p50", "retries/upd")
+			t := result.NewTable("abl-t0",
+				"Ablation — backoff unit sensitivity (SMART-HT, update-only, Zipf 0.99)", "t0")
+			t.XUnit = "ns"
+			t.Def("MOPS", "", 2)
+			t.Def("p50", "us", 1)
+			t.Def("retries/upd", "", 2)
 			for _, t0 := range units {
 				opts := core.Smart()
 				opts.BackoffUnit = t0
 				r := runHTQ(quick, HTConfig{
 					Opts: opts, ThreadsPerBlade: 96,
-					Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 44,
+					Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 44 + seed,
 				})
-				fmt.Fprintf(w, "%10v %10.2f %12v %12.2f\n", t0, r.MOPS, r.Median, r.AvgRetries)
+				x := float64(t0)
+				t.Add("MOPS", x, r.MOPS)
+				t.Add("p50", x, us(r.Median))
+				t.Add("retries/upd", x, r.AvgRetries)
 			}
+			return []result.Table{*t}
 		},
 	})
 
 	register(&Experiment{
 		ID:    "abl-spec",
 		Title: "Ablation: speculative-lookup cache size (SMART-BT, read-only, 48 threads)",
-		Run: func(w io.Writer, quick bool) {
+		Run: func(quick bool, seed int64) []result.Table {
 			sizes := []int{256, 1024, 4096, 16384, 65536}
 			if quick {
 				sizes = []int{1024, 16384}
 			}
-			header(w, "Ablation — spec cache entries vs MOPS and hit rate")
-			fmt.Fprintf(w, "%10s %10s %10s\n", "entries", "MOPS", "hit rate")
+			t := result.NewTable("abl-spec",
+				"Ablation — spec cache entries vs MOPS and hit rate", "entries")
+			t.Def("MOPS", "", 2)
+			t.Def("hit rate", "", 2)
 			for _, n := range sizes {
 				r := runBTQ(quick, BTConfig{
 					Variant: SmartBT, ThreadsPerBlade: 48,
-					Theta: 0.99, Mix: workload.ReadOnly, Keys: htKeys, Seed: 45,
+					Theta: 0.99, Mix: workload.ReadOnly, Keys: htKeys, Seed: 45 + seed,
 					SpecCacheEntries: n,
 				})
-				fmt.Fprintf(w, "%10d %10.2f %10.2f\n", n, r.MOPS, r.SpecHit)
+				t.Add("MOPS", float64(n), r.MOPS)
+				t.Add("hit rate", float64(n), r.SpecHit)
 			}
+			return []result.Table{*t}
 		},
 	})
 }
@@ -136,20 +159,25 @@ func init() {
 	register(&Experiment{
 		ID:    "abl-payload",
 		Title: "Ablation: payload size — the IOPS-bound to bandwidth-bound transition (§3.1)",
-		Run: func(w io.Writer, quick bool) {
+		Run: func(quick bool, seed int64) []result.Table {
 			sizes := []int{8, 16, 32, 64, 128, 256, 512, 1024}
 			if quick {
 				sizes = []int{8, 64, 512}
 			}
-			header(w, "Ablation — READ MOPS and Gbps vs payload (96 threads, per-thread doorbell, batch 8)")
-			fmt.Fprintf(w, "%10s %10s %10s\n", "payload", "MOPS", "Gbps")
+			t := result.NewTable("abl-payload",
+				"Ablation — READ MOPS and Gbps vs payload (96 threads, per-thread doorbell, batch 8)", "payload")
+			t.XUnit = "B"
+			t.Def("MOPS", "", 1)
+			t.Def("Gbps", "", 1)
 			for _, n := range sizes {
 				r := RunMicro(MicroConfig{
 					Opts: core.Baseline(core.PerThreadDoorbell), Threads: 96, Batch: 8,
-					Op: rnic.OpRead, Payload: n, Seed: 46,
+					Op: rnic.OpRead, Payload: n, Seed: 46 + seed,
 				})
-				fmt.Fprintf(w, "%10d %10.1f %10.1f\n", n, r.MOPS, r.MOPS*float64(n)*8/1e3)
+				t.Add("MOPS", float64(n), r.MOPS)
+				t.Add("Gbps", float64(n), r.MOPS*float64(n)*8/1e3)
 			}
+			return []result.Table{*t}
 		},
 	})
 }

@@ -2,8 +2,8 @@ package bench
 
 import (
 	"fmt"
-	"io"
 
+	"repro/internal/result"
 	"repro/internal/workload"
 )
 
@@ -11,23 +11,28 @@ func init() {
 	register(&Experiment{
 		ID:    "fig10",
 		Title: "Fig. 10: distributed transaction throughput, FORD+ vs SMART-DTX",
-		Run: func(w io.Writer, quick bool) {
+		Run: func(quick bool, seed int64) []result.Table {
+			var tables []result.Table
 			for _, wl := range []DTXWorkload{SmallBank, TATP} {
-				header(w, fmt.Sprintf("Fig. 10 — %s: MTPS vs threads", wl))
-				fmt.Fprintf(w, "%8s %12s %12s\n", "threads", "FORD+", "SMART-DTX")
+				t := result.NewTable(fmt.Sprintf("fig10-%s", wl),
+					fmt.Sprintf("Fig. 10 — %s: MTPS vs threads", wl), "threads")
+				t.YUnit = "MTPS"
 				for _, thr := range threadGrid(quick) {
-					ford := runDTXQ(quick, DTXConfig{Workload: wl, FORDPlus: true, Threads: thr, Seed: 31})
-					smart := runDTXQ(quick, DTXConfig{Workload: wl, Threads: thr, Seed: 31})
-					fmt.Fprintf(w, "%8d %12.2f %12.2f\n", thr, ford.MTPS, smart.MTPS)
+					ford := runDTXQ(quick, DTXConfig{Workload: wl, FORDPlus: true, Threads: thr, Seed: 31 + seed})
+					smart := runDTXQ(quick, DTXConfig{Workload: wl, Threads: thr, Seed: 31 + seed})
+					t.Add("FORD+", float64(thr), ford.MTPS)
+					t.Add("SMART-DTX", float64(thr), smart.MTPS)
 				}
+				tables = append(tables, *t)
 			}
+			return tables
 		},
 	})
 
 	register(&Experiment{
 		ID:    "fig11",
 		Title: "Fig. 11: throughput vs latency for distributed transactions (96x8 tasks)",
-		Run: func(w io.Writer, quick bool) {
+		Run: func(quick bool, seed int64) []result.Table {
 			targets := map[DTXWorkload][]float64{
 				SmallBank: {0.5, 1, 2, 4, 8, 0},
 				TATP:      {1, 2, 4, 8, 16, 0},
@@ -38,52 +43,56 @@ func init() {
 					TATP:      {4, 0},
 				}
 			}
+			var tables []result.Table
 			for _, wl := range []DTXWorkload{SmallBank, TATP} {
 				for _, sys := range []struct {
 					name     string
 					fordPlus bool
 				}{{"FORD+", true}, {"SMART-DTX", false}} {
-					header(w, fmt.Sprintf("Fig. 11 — %s, %s: achieved MTPS, p50, p99", wl, sys.name))
-					fmt.Fprintf(w, "%12s %10s %12s %12s\n", "target MTPS", "MTPS", "p50", "p99")
+					t := result.NewTable(fmt.Sprintf("fig11-%s-%s", wl, sys.name),
+						fmt.Sprintf("Fig. 11 — %s, %s: achieved MTPS, p50, p99", wl, sys.name), "target")
+					t.XUnit = "MTPS"
+					defLatencySeries(t, "MTPS")
 					for _, tgt := range targets[wl] {
 						r := runDTXQ(quick, DTXConfig{Workload: wl, FORDPlus: sys.fordPlus,
-							Threads: 96, Seed: 32, TargetMTPS: tgt})
-						label := fmt.Sprintf("%.1f", tgt)
+							Threads: 96, Seed: 32 + seed, TargetMTPS: tgt})
+						label := ""
 						if tgt == 0 {
 							label = "max"
 						}
-						fmt.Fprintf(w, "%12s %10.2f %12v %12v\n", label, r.MTPS, r.Median, r.P99)
+						t.AddLabeled("MTPS", tgt, label, r.MTPS)
+						t.AddLabeled("p50", tgt, label, us(r.Median))
+						t.AddLabeled("p99", tgt, label, us(r.P99))
 					}
+					tables = append(tables, *t)
 				}
 			}
+			return tables
 		},
 	})
 
 	register(&Experiment{
 		ID:    "fig12",
 		Title: "Fig. 12: B+Tree throughput, Sherman+ vs Sherman+ w/SL vs SMART-BT",
-		Run: func(w io.Writer, quick bool) {
+		Run: func(quick bool, seed int64) []result.Table {
 			variants := []BTVariant{ShermanPlus, ShermanPlusSL, SmartBT}
 			grid := []int{8, 16, 32, 48, 64, 94}
 			if quick {
 				grid = []int{8, 48, 94}
 			}
+			var tables []result.Table
 			for _, mix := range htMixes {
-				header(w, fmt.Sprintf("Fig. 12(a-c) — %s, 1 server: MOPS vs threads", mix.Name))
-				fmt.Fprintf(w, "%8s", "threads")
-				for _, v := range variants {
-					fmt.Fprintf(w, " %16s", v)
-				}
-				fmt.Fprintln(w)
+				t := result.NewTable("fig12-scaleup-"+mix.Name,
+					fmt.Sprintf("Fig. 12(a-c) — %s, 1 server: MOPS vs threads", mix.Name), "threads")
+				t.YUnit = "MOPS"
 				for _, thr := range grid {
-					fmt.Fprintf(w, "%8d", thr)
 					for _, v := range variants {
 						r := runBTQ(quick, BTConfig{Variant: v, ThreadsPerBlade: thr,
-							Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 33})
-						fmt.Fprintf(w, " %16.2f", r.MOPS)
+							Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 33 + seed})
+						t.Add(v.String(), float64(thr), r.MOPS)
 					}
-					fmt.Fprintln(w)
 				}
+				tables = append(tables, *t)
 			}
 			servers := []int{1, 2, 4, 6, 8}
 			threads := 94
@@ -92,22 +101,19 @@ func init() {
 				threads = 32
 			}
 			for _, mix := range htMixes {
-				header(w, fmt.Sprintf("Fig. 12(d-f) — %s, %d threads/server: MOPS vs servers", mix.Name, threads))
-				fmt.Fprintf(w, "%8s", "servers")
-				for _, v := range variants {
-					fmt.Fprintf(w, " %16s", v)
-				}
-				fmt.Fprintln(w)
+				t := result.NewTable("fig12-scaleout-"+mix.Name,
+					fmt.Sprintf("Fig. 12(d-f) — %s, %d threads/server: MOPS vs servers", mix.Name, threads), "servers")
+				t.YUnit = "MOPS"
 				for _, s := range servers {
-					fmt.Fprintf(w, "%8d", s)
 					for _, v := range variants {
 						r := runBTQ(quick, BTConfig{Variant: v, Servers: s, ThreadsPerBlade: threads,
-							Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 33})
-						fmt.Fprintf(w, " %16.2f", r.MOPS)
+							Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 33 + seed})
+						t.Add(v.String(), float64(s), r.MOPS)
 					}
-					fmt.Fprintln(w)
 				}
+				tables = append(tables, *t)
 			}
+			return tables
 		},
 	})
 }

@@ -81,6 +81,10 @@ func (r BTResult) String() string {
 	return fmt.Sprintf("%.2f MOPS  p50=%v p99=%v  spec-hit=%.2f", r.MOPS, r.Median, r.P99, r.SpecHit)
 }
 
+func (cfg *BTConfig) setWindows(warmup, measure sim.Time) {
+	cfg.Warmup, cfg.Measure = warmup, measure
+}
+
 // RunBT executes one B⁺Tree experiment point.
 func RunBT(cfg BTConfig) BTResult {
 	if cfg.Servers <= 0 {
@@ -179,10 +183,11 @@ func RunBT(cfg BTConfig) BTResult {
 		misses += c.SpecMisses
 	}
 
+	sum := lat.Summary()
 	res := BTResult{
 		MOPS:     float64(ops) / (float64(cfg.Measure) / 1e3),
-		Median:   lat.Median(),
-		P99:      lat.P99(),
+		Median:   sum.P50,
+		P99:      sum.P99,
 		Ops:      ops,
 		VerbMOPS: float64(verbs-verbsAtWarmup) / (float64(cfg.Measure) / 1e3),
 	}

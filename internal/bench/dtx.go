@@ -58,6 +58,10 @@ func (r DTXResult) String() string {
 	return fmt.Sprintf("%.2f MTPS  p50=%v p99=%v  aborts/txn=%.3f", r.MTPS, r.Median, r.P99, r.AbortRate)
 }
 
+func (cfg *DTXConfig) setWindows(warmup, measure sim.Time) {
+	cfg.Warmup, cfg.Measure = warmup, measure
+}
+
 // RunDTX executes one distributed-transaction experiment point.
 func RunDTX(cfg DTXConfig) DTXResult {
 	if cfg.Threads <= 0 {
@@ -140,10 +144,11 @@ func RunDTX(cfg DTXConfig) DTXResult {
 	}
 
 	eng.Run(horizon)
+	sum := lat.Summary()
 	res := DTXResult{
 		MTPS:   float64(txns) / (float64(cfg.Measure) / 1e3),
-		Median: lat.Median(),
-		P99:    lat.P99(),
+		Median: sum.P50,
+		P99:    sum.P99,
 		Txns:   txns,
 	}
 	if txns > 0 {

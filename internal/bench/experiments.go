@@ -1,10 +1,9 @@
 package bench
 
 import (
-	"fmt"
-	"io"
 	"sort"
 
+	"repro/internal/result"
 	"repro/internal/sim"
 )
 
@@ -12,10 +11,12 @@ import (
 type Experiment struct {
 	ID    string
 	Title string
-	// Run executes the experiment, printing the figure's rows/series
-	// to w. quick trades sweep density for runtime (used by the
-	// testing.B wrappers); the full sweep is the CLI default.
-	Run func(w io.Writer, quick bool)
+	// Run executes the experiment and returns its typed tables (one
+	// per panel). quick trades sweep density for runtime (used by the
+	// testing.B wrappers and the shape-check gate); the full sweep is
+	// the CLI default. seed offsets every built-in workload seed —
+	// 0 reproduces the published numbers and the golden files.
+	Run func(quick bool, seed int64) []result.Table
 }
 
 // registry holds all experiments, keyed by ID.
@@ -59,24 +60,31 @@ func quickWindows(quick bool) (warmup, measure sim.Time) {
 	return 0, 0 // runner defaults (5 ms / 4 ms)
 }
 
-// header prints a figure banner.
-func header(w io.Writer, title string) {
-	fmt.Fprintf(w, "\n=== %s ===\n", title)
+// quickWindowed is satisfied by pointers to the app experiment
+// configs, all of which carry Warmup/Measure fields.
+type quickWindowed interface {
+	setWindows(warmup, measure sim.Time)
 }
 
-// runHTQ, runBTQ, and runDTXQ run an app experiment point with the
-// quick-mode measurement windows applied.
-func runHTQ(quick bool, cfg HTConfig) HTResult {
-	cfg.Warmup, cfg.Measure = quickWindows(quick)
-	return RunHT(cfg)
+// quickRun wraps an app runner so the quick-mode measurement windows
+// are applied to each point's config before it runs — the one generic
+// helper behind runHTQ, runBTQ, and runDTXQ.
+func quickRun[C any, PC interface {
+	quickWindowed
+	*C
+}, R any](run func(C) R) func(quick bool, cfg C) R {
+	return func(quick bool, cfg C) R {
+		PC(&cfg).setWindows(quickWindows(quick))
+		return run(cfg)
+	}
 }
 
-func runBTQ(quick bool, cfg BTConfig) BTResult {
-	cfg.Warmup, cfg.Measure = quickWindows(quick)
-	return RunBT(cfg)
-}
+var (
+	runHTQ  = quickRun[HTConfig, *HTConfig](RunHT)
+	runBTQ  = quickRun[BTConfig, *BTConfig](RunBT)
+	runDTXQ = quickRun[DTXConfig, *DTXConfig](RunDTX)
+)
 
-func runDTXQ(quick bool, cfg DTXConfig) DTXResult {
-	cfg.Warmup, cfg.Measure = quickWindows(quick)
-	return RunDTX(cfg)
-}
+// usPerNs converts the sim.Time nanosecond clock into the microsecond
+// latencies the tables report.
+func us(t sim.Time) float64 { return float64(t) / 1e3 }

@@ -56,6 +56,10 @@ func (r HTResult) String() string {
 		r.MOPS, r.Median, r.P99, r.AvgRetries)
 }
 
+func (cfg *HTConfig) setWindows(warmup, measure sim.Time) {
+	cfg.Warmup, cfg.Measure = warmup, measure
+}
+
 func (cfg *HTConfig) withDefaults() {
 	if cfg.ComputeBlades <= 0 {
 		cfg.ComputeBlades = 1
@@ -194,10 +198,11 @@ func RunHT(cfg HTConfig) HTResult {
 		verbs += comp.NIC.Snapshot().Completed
 	}
 
+	sum := lat.Summary()
 	res := HTResult{
 		MOPS:      float64(ops) / (float64(cfg.Measure) / 1e3),
-		Median:    lat.Median(),
-		P99:       lat.P99(),
+		Median:    sum.P50,
+		P99:       sum.P99,
 		RetryDist: retry,
 		Ops:       ops,
 		VerbMOPS:  float64(verbs-verbsAtWarmup) / (float64(cfg.Measure) / 1e3),

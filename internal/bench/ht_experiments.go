@@ -2,9 +2,9 @@ package bench
 
 import (
 	"fmt"
-	"io"
 
 	"repro/internal/core"
+	"repro/internal/result"
 	"repro/internal/workload"
 )
 
@@ -35,51 +35,71 @@ func fig8Configs() []struct {
 	}
 }
 
+// defLatencySeries declares the standard throughput + latency columns
+// (the rate series' name is its own unit: "MOPS" or "MTPS").
+func defLatencySeries(t *result.Table, rate string) {
+	t.Def(rate, "", 2)
+	t.Def("p50", "us", 1)
+	t.Def("p99", "us", 1)
+}
+
 func init() {
 	register(&Experiment{
 		ID:    "fig5",
 		Title: "Fig. 5: RACE hash-table update performance vs threads and vs skew",
-		Run: func(w io.Writer, quick bool) {
-			header(w, "Fig. 5a — RACE 100% updates, Zipf 0.99: MOPS / p50 / p99 vs threads (depth 8)")
-			fmt.Fprintf(w, "%8s %10s %12s %12s %12s\n", "threads", "MOPS", "p50", "p99", "retries/upd")
+		Run: func(quick bool, seed int64) []result.Table {
+			a := result.NewTable("fig5a", "Fig. 5a — RACE 100% updates, Zipf 0.99: MOPS / p50 / p99 vs threads (depth 8)", "threads")
+			defLatencySeries(a, "MOPS")
+			a.Def("retries/upd", "", 2)
 			for _, thr := range threadGrid(quick) {
 				r := runHTQ(quick, HTConfig{
 					Opts: RACEBaseline(), ThreadsPerBlade: thr,
-					Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 21,
+					Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 21 + seed,
 				})
-				fmt.Fprintf(w, "%8d %10.2f %12v %12v %12.2f\n", thr, r.MOPS, r.Median, r.P99, r.AvgRetries)
+				x := float64(thr)
+				a.Add("MOPS", x, r.MOPS)
+				a.Add("p50", x, us(r.Median))
+				a.Add("p99", x, us(r.P99))
+				a.Add("retries/upd", x, r.AvgRetries)
 			}
 
 			thetas := []float64{0, 0.5, 0.9, 0.99}
 			if quick {
 				thetas = []float64{0, 0.99}
 			}
-			header(w, "Fig. 5b — RACE 100% updates, 16 threads: latency vs Zipf theta")
-			fmt.Fprintf(w, "%8s %10s %12s %12s\n", "theta", "MOPS", "p50", "p99")
+			b := result.NewTable("fig5b", "Fig. 5b — RACE 100% updates, 16 threads: latency vs Zipf theta", "theta")
+			defLatencySeries(b, "MOPS")
 			for _, th := range thetas {
 				r := runHTQ(quick, HTConfig{
 					Opts: RACEBaseline(), ThreadsPerBlade: 16,
-					Theta: th, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 21,
+					Theta: th, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 21 + seed,
 				})
-				fmt.Fprintf(w, "%8.2f %10.2f %12v %12v\n", th, r.MOPS, r.Median, r.P99)
+				b.Add("MOPS", th, r.MOPS)
+				b.Add("p50", th, us(r.Median))
+				b.Add("p99", th, us(r.P99))
 			}
+			return []result.Table{*a, *b}
 		},
 	})
 
 	register(&Experiment{
 		ID:    "fig7",
 		Title: "Fig. 7: hash table throughput, RACE vs SMART-HT (scale-up and scale-out)",
-		Run: func(w io.Writer, quick bool) {
+		Run: func(quick bool, seed int64) []result.Table {
+			var tables []result.Table
 			for _, mix := range htMixes {
-				header(w, fmt.Sprintf("Fig. 7(a-c) — %s, 1 compute blade: MOPS vs threads", mix.Name))
-				fmt.Fprintf(w, "%8s %12s %12s\n", "threads", "RACE", "SMART-HT")
+				t := result.NewTable("fig7-scaleup-"+mix.Name,
+					fmt.Sprintf("Fig. 7(a-c) — %s, 1 compute blade: MOPS vs threads", mix.Name), "threads")
+				t.YUnit = "MOPS"
 				for _, thr := range threadGrid(quick) {
 					race := runHTQ(quick, HTConfig{Opts: RACEBaseline(), ThreadsPerBlade: thr,
-						Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 22})
+						Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 22 + seed})
 					smart := runHTQ(quick, HTConfig{Opts: core.Smart(), ThreadsPerBlade: thr,
-						Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 22})
-					fmt.Fprintf(w, "%8d %12.2f %12.2f\n", thr, race.MOPS, smart.MOPS)
+						Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 22 + seed})
+					t.Add("RACE", float64(thr), race.MOPS)
+					t.Add("SMART-HT", float64(thr), smart.MOPS)
 				}
+				tables = append(tables, *t)
 			}
 			blades := []int{1, 2, 3, 4, 5, 6}
 			threads := 96
@@ -88,76 +108,85 @@ func init() {
 				threads = 32
 			}
 			for _, mix := range htMixes {
-				header(w, fmt.Sprintf("Fig. 7(d-f) — %s, %d threads/blade: MOPS vs compute blades", mix.Name, threads))
-				fmt.Fprintf(w, "%8s %12s %12s\n", "blades", "RACE", "SMART-HT")
+				t := result.NewTable("fig7-scaleout-"+mix.Name,
+					fmt.Sprintf("Fig. 7(d-f) — %s, %d threads/blade: MOPS vs compute blades", mix.Name, threads), "blades")
+				t.YUnit = "MOPS"
 				for _, b := range blades {
 					race := runHTQ(quick, HTConfig{Opts: RACEBaseline(), ComputeBlades: b, ThreadsPerBlade: threads,
-						Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 22})
+						Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 22 + seed})
 					smart := runHTQ(quick, HTConfig{Opts: core.Smart(), ComputeBlades: b, ThreadsPerBlade: threads,
-						Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 22})
-					fmt.Fprintf(w, "%8d %12.2f %12.2f\n", b, race.MOPS, smart.MOPS)
+						Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 22 + seed})
+					t.Add("RACE", float64(b), race.MOPS)
+					t.Add("SMART-HT", float64(b), smart.MOPS)
 				}
+				tables = append(tables, *t)
 			}
+			return tables
 		},
 	})
 
 	register(&Experiment{
 		ID:    "fig8",
 		Title: "Fig. 8: performance breakdown of SMART-HT's techniques",
-		Run: func(w io.Writer, quick bool) {
+		Run: func(quick bool, seed int64) []result.Table {
 			configs := fig8Configs()
+			var tables []result.Table
 			for _, mix := range htMixes {
-				header(w, fmt.Sprintf("Fig. 8 — %s: MOPS vs threads, cumulative techniques", mix.Name))
-				fmt.Fprintf(w, "%8s", "threads")
-				for _, c := range configs {
-					fmt.Fprintf(w, " %16s", c.name)
-				}
-				fmt.Fprintln(w)
+				t := result.NewTable("fig8-"+mix.Name,
+					fmt.Sprintf("Fig. 8 — %s: MOPS vs threads, cumulative techniques", mix.Name), "threads")
+				t.YUnit = "MOPS"
 				for _, thr := range threadGrid(quick) {
-					fmt.Fprintf(w, "%8d", thr)
 					for _, c := range configs {
 						r := runHTQ(quick, HTConfig{Opts: c.opts, ThreadsPerBlade: thr,
-							Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 23})
-						fmt.Fprintf(w, " %16.2f", r.MOPS)
+							Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 23 + seed})
+						t.Add(c.name, float64(thr), r.MOPS)
 					}
-					fmt.Fprintln(w)
 				}
+				tables = append(tables, *t)
 			}
+			return tables
 		},
 	})
 
 	register(&Experiment{
 		ID:    "fig9",
 		Title: "Fig. 9: throughput vs latency, read-only hash table, 96 threads",
-		Run: func(w io.Writer, quick bool) {
+		Run: func(quick bool, seed int64) []result.Table {
 			targets := []float64{2, 4, 8, 12, 16, 20, 0} // 0 = unthrottled
 			if quick {
 				targets = []float64{4, 12, 0}
 			}
+			var tables []result.Table
 			for _, sys := range []struct {
 				name string
 				opts core.Options
 			}{{"RACE", RACEBaseline()}, {"SMART-HT", core.Smart()}} {
-				header(w, fmt.Sprintf("Fig. 9 — %s: achieved MOPS, p50, p99 per target", sys.name))
-				fmt.Fprintf(w, "%12s %10s %12s %12s\n", "target MOPS", "MOPS", "p50", "p99")
+				t := result.NewTable("fig9-"+sys.name,
+					fmt.Sprintf("Fig. 9 — %s: achieved MOPS, p50, p99 per target", sys.name), "target")
+				t.XUnit = "MOPS"
+				defLatencySeries(t, "MOPS")
 				for _, tgt := range targets {
 					r := runHTQ(quick, HTConfig{Opts: sys.opts, ThreadsPerBlade: 96,
-						Theta: 0.99, Mix: workload.ReadOnly, Keys: htKeys, Seed: 24,
+						Theta: 0.99, Mix: workload.ReadOnly, Keys: htKeys, Seed: 24 + seed,
 						TargetMOPS: tgt})
-					label := fmt.Sprintf("%.0f", tgt)
+					label := ""
 					if tgt == 0 {
 						label = "max"
 					}
-					fmt.Fprintf(w, "%12s %10.2f %12v %12v\n", label, r.MOPS, r.Median, r.P99)
+					t.AddLabeled("MOPS", tgt, label, r.MOPS)
+					t.AddLabeled("p50", tgt, label, us(r.Median))
+					t.AddLabeled("p99", tgt, label, us(r.P99))
 				}
+				tables = append(tables, *t)
 			}
+			return tables
 		},
 	})
 
 	register(&Experiment{
 		ID:    "fig14",
 		Title: "Fig. 14: conflict avoidance breakdown (100% updates, Zipf 0.99)",
-		Run: func(w io.Writer, quick bool) {
+		Run: func(quick bool, seed int64) []result.Table {
 			noCA := core.Smart()
 			noCA.Backoff, noCA.DynamicLimit, noCA.CoroThrottle = false, false, false
 			bo := core.Smart()
@@ -173,35 +202,28 @@ func init() {
 				{"+DynLimit", dyn},
 				{"+CoroThrot", core.Smart()},
 			}
-			header(w, "Fig. 14a/b — MOPS and avg retries/update vs threads")
-			fmt.Fprintf(w, "%8s", "threads")
-			for _, c := range configs {
-				fmt.Fprintf(w, " %11s %8s", c.name, "retries")
-			}
-			fmt.Fprintln(w)
-			var last96 []HTResult
+			mops := result.NewTable("fig14a", "Fig. 14a — MOPS vs threads", "threads")
+			mops.YUnit = "MOPS"
+			retries := result.NewTable("fig14b", "Fig. 14b — avg retries/update vs threads", "threads")
+			retries.YUnit = "retries/upd"
+			dist := result.NewTable("fig14c", "Fig. 14c — retry-count distribution at 96 threads (completed ops, %)", "retries")
+			dist.YUnit, dist.Prec = "%", 1
 			for _, thr := range threadGrid(quick) {
-				fmt.Fprintf(w, "%8d", thr)
-				var row []HTResult
 				for _, c := range configs {
 					r := runHTQ(quick, HTConfig{Opts: c.opts, ThreadsPerBlade: thr,
-						Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 25})
-					row = append(row, r)
-					fmt.Fprintf(w, " %11.2f %8.2f", r.MOPS, r.AvgRetries)
-				}
-				fmt.Fprintln(w)
-				if thr == 96 {
-					last96 = row
-				}
-			}
-			if last96 != nil {
-				header(w, "Fig. 14c — retry-count distribution at 96 threads (completed ops)")
-				for i, c := range configs {
-					d := last96[i].RetryDist
-					fmt.Fprintf(w, "%12s: 0:%.1f%% 1:%.1f%% 2:%.1f%% >=3:%.1f%%\n", c.name,
-						100*d.Frac(0), 100*d.Frac(1), 100*d.Frac(2), 100*d.FracAtLeast(3))
+						Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 25 + seed})
+					mops.Add(c.name, float64(thr), r.MOPS)
+					retries.Add(c.name, float64(thr), r.AvgRetries)
+					if thr == 96 {
+						d := r.RetryDist
+						dist.AddLabeled(c.name, 0, "0", 100*d.Frac(0))
+						dist.AddLabeled(c.name, 1, "1", 100*d.Frac(1))
+						dist.AddLabeled(c.name, 2, "2", 100*d.Frac(2))
+						dist.AddLabeled(c.name, 3, ">=3", 100*d.FracAtLeast(3))
+					}
 				}
 			}
+			return []result.Table{*mops, *retries, *dist}
 		},
 	})
 }

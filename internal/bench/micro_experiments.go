@@ -2,9 +2,10 @@ package bench
 
 import (
 	"fmt"
-	"io"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/result"
 	"repro/internal/rnic"
 	"repro/internal/sim"
 )
@@ -24,80 +25,61 @@ func init() {
 	register(&Experiment{
 		ID:    "fig3",
 		Title: "Fig. 3: throughput of 8-byte READ/WRITE under different QP allocation policies (depth 8)",
-		Run: func(w io.Writer, quick bool) {
+		Run: func(quick bool, seed int64) []result.Table {
+			var tables []result.Table
 			for _, op := range []rnic.OpKind{rnic.OpRead, rnic.OpWrite} {
-				header(w, fmt.Sprintf("Fig. 3 — 8-byte %s, MOPS vs threads", op))
-				fmt.Fprintf(w, "%8s", "threads")
-				for _, p := range fig3Policies {
-					fmt.Fprintf(w, " %22s", p.name)
-				}
-				fmt.Fprintln(w)
+				t := result.NewTable(
+					"fig3-"+strings.ToLower(op.String()),
+					fmt.Sprintf("Fig. 3 — 8-byte %s, MOPS vs threads", op),
+					"threads")
+				t.YUnit, t.Prec = "MOPS", 1
 				for _, thr := range threadGrid(quick) {
-					fmt.Fprintf(w, "%8d", thr)
 					for _, p := range fig3Policies {
 						r := RunMicro(MicroConfig{
-							Opts: p.opts, Threads: thr, Batch: 8, Op: op, Seed: 11,
+							Opts: p.opts, Threads: thr, Batch: 8, Op: op, Seed: 11 + seed,
 						})
-						fmt.Fprintf(w, " %22.1f", r.MOPS)
+						t.Add(p.name, float64(thr), r.MOPS)
 					}
-					fmt.Fprintln(w)
 				}
+				tables = append(tables, *t)
 			}
+			return tables
 		},
 	})
 
 	register(&Experiment{
 		ID:    "fig4",
 		Title: "Fig. 4: throughput and DRAM traffic vs thread count x outstanding work requests",
-		Run: func(w io.Writer, quick bool) {
+		Run: func(quick bool, seed int64) []result.Table {
 			threads := []int{16, 36, 64, 96}
 			owrs := []int{1, 2, 4, 8, 16, 32, 64}
 			if quick {
 				threads = []int{36, 96}
 				owrs = []int{2, 8, 32}
 			}
-			run := func(thr, owr int) MicroResult {
-				return RunMicro(MicroConfig{
-					Opts:    core.Baseline(core.PerThreadDoorbell),
-					Threads: thr, Batch: owr, Op: rnic.OpRead, Seed: 12,
-				})
-			}
-			header(w, "Fig. 4a — READ MOPS (rows: threads, cols: OWRs/thread)")
-			fmt.Fprintf(w, "%8s", "threads")
-			for _, o := range owrs {
-				fmt.Fprintf(w, " %8d", o)
-			}
-			fmt.Fprintln(w)
-			results := map[[2]int]MicroResult{}
+			mops := result.NewTable("fig4a", "Fig. 4a — READ MOPS (rows: threads, cols: OWRs/thread)", "threads")
+			mops.YUnit, mops.Prec = "MOPS", 1
+			dma := result.NewTable("fig4b", "Fig. 4b — DRAM bytes per work request", "threads")
+			dma.YUnit, dma.Prec = "B/WR", 0
 			for _, t := range threads {
-				fmt.Fprintf(w, "%8d", t)
 				for _, o := range owrs {
-					r := run(t, o)
-					results[[2]int{t, o}] = r
-					fmt.Fprintf(w, " %8.1f", r.MOPS)
+					r := RunMicro(MicroConfig{
+						Opts:    core.Baseline(core.PerThreadDoorbell),
+						Threads: t, Batch: o, Op: rnic.OpRead, Seed: 12 + seed,
+					})
+					col := fmt.Sprintf("owr=%d", o)
+					mops.Add(col, float64(t), r.MOPS)
+					dma.Add(col, float64(t), r.DMABytesPerWR)
 				}
-				fmt.Fprintln(w)
 			}
-			header(w, "Fig. 4b — DRAM bytes per work request")
-			fmt.Fprintf(w, "%8s", "threads")
-			for _, o := range owrs {
-				fmt.Fprintf(w, " %8d", o)
-			}
-			fmt.Fprintln(w)
-			for _, t := range threads {
-				fmt.Fprintf(w, "%8d", t)
-				for _, o := range owrs {
-					fmt.Fprintf(w, " %8.0f", results[[2]int{t, o}].DMABytesPerWR)
-				}
-				fmt.Fprintln(w)
-			}
+			return []result.Table{*mops, *dma}
 		},
 	})
 
 	register(&Experiment{
 		ID:    "fig13",
 		Title: "Fig. 13: SMART's allocation and throttling techniques in the micro-benchmark",
-		Run: func(w io.Writer, quick bool) {
+		Run: func(quick bool, seed int64) []result.Table {
 			throttled := core.Baseline(core.PerThreadDoorbell)
 			throttled.WorkReqThrottle = true
 			throttled.UpdateDelta = 400 * sim.Microsecond
@@ -110,46 +92,35 @@ func init() {
 				{"+ThdResAlloc", core.Baseline(core.PerThreadDoorbell)},
 				{"+WorkReqThrot", throttled},
 			}
-			header(w, "Fig. 13a — 8-byte READ MOPS vs threads (batch 16)")
-			fmt.Fprintf(w, "%8s", "threads")
-			for _, c := range configs {
-				fmt.Fprintf(w, " %20s", c.name)
-			}
-			fmt.Fprintln(w)
+			byThr := result.NewTable("fig13a", "Fig. 13a — 8-byte READ MOPS vs threads (batch 16)", "threads")
+			byThr.YUnit, byThr.Prec = "MOPS", 1
 			for _, thr := range threadGrid(quick) {
-				fmt.Fprintf(w, "%8d", thr)
 				for _, c := range configs {
-					r := RunMicro(MicroConfig{Opts: c.opts, Threads: thr, Batch: 16, Op: rnic.OpRead, Seed: 13})
-					fmt.Fprintf(w, " %20.1f", r.MOPS)
+					r := RunMicro(MicroConfig{Opts: c.opts, Threads: thr, Batch: 16, Op: rnic.OpRead, Seed: 13 + seed})
+					byThr.Add(c.name, float64(thr), r.MOPS)
 				}
-				fmt.Fprintln(w)
 			}
 
 			batches := []int{1, 2, 4, 8, 16, 32, 64}
 			if quick {
 				batches = []int{4, 16, 64}
 			}
-			header(w, "Fig. 13b — 8-byte READ MOPS vs work request batch size (96 threads)")
-			fmt.Fprintf(w, "%8s", "batch")
-			for _, c := range configs {
-				fmt.Fprintf(w, " %20s", c.name)
-			}
-			fmt.Fprintln(w)
+			byBatch := result.NewTable("fig13b", "Fig. 13b — 8-byte READ MOPS vs work request batch size (96 threads)", "batch")
+			byBatch.YUnit, byBatch.Prec = "MOPS", 1
 			for _, b := range batches {
-				fmt.Fprintf(w, "%8d", b)
 				for _, c := range configs {
-					r := RunMicro(MicroConfig{Opts: c.opts, Threads: 96, Batch: b, Op: rnic.OpRead, Seed: 13})
-					fmt.Fprintf(w, " %20.1f", r.MOPS)
+					r := RunMicro(MicroConfig{Opts: c.opts, Threads: 96, Batch: b, Op: rnic.OpRead, Seed: 13 + seed})
+					byBatch.Add(c.name, float64(b), r.MOPS)
 				}
-				fmt.Fprintln(w)
 			}
+			return []result.Table{*byThr, *byBatch}
 		},
 	})
 
 	register(&Experiment{
 		ID:    "tab1",
 		Title: "Table 1: 8-byte READ MOPS under dynamically changing thread counts (batch 64)",
-		Run: func(w io.Writer, quick bool) {
+		Run: func(quick bool, seed int64) []result.Table {
 			// Time-scale substitution: the paper's epoch is 512 ms
 			// against changing intervals of 32–2048 ms; we scale both
 			// by 1/16 (epoch ≈ 16 ms within reach of simulation) and
@@ -169,12 +140,8 @@ func init() {
 			throttled.UpdateDelta = 250 * sim.Microsecond // epoch ≈ 16.25 ms
 			plain := core.Baseline(core.PerThreadDoorbell)
 
-			header(w, "Table 1 — MOPS vs changing interval (paper-equivalent ms)")
-			fmt.Fprintf(w, "%22s", "interval (paper ms)")
-			for _, ms := range paperMS {
-				fmt.Fprintf(w, " %8d", ms)
-			}
-			fmt.Fprintln(w)
+			t := result.NewTable("tab1", "Table 1 — MOPS vs changing interval (paper-equivalent ms)", "interval")
+			t.XUnit, t.YUnit, t.Prec = "paper ms", "MOPS", 1
 			for _, row := range []struct {
 				name string
 				opts core.Options
@@ -182,8 +149,7 @@ func init() {
 				{"w/o WorkReqThrot", plain},
 				{"w/  WorkReqThrot", throttled},
 			} {
-				fmt.Fprintf(w, "%22s", row.name)
-				for _, iv := range intervals {
+				for i, iv := range intervals {
 					measure := 8 * iv
 					if quick {
 						measure = 4 * iv
@@ -193,13 +159,13 @@ func init() {
 					}
 					r := RunMicro(MicroConfig{
 						Opts: row.opts, Threads: 96, Batch: 64, Op: rnic.OpRead,
-						Seed: 14, Measure: measure, Warmup: 2 * sim.Millisecond,
+						Seed: 14 + seed, Measure: measure, Warmup: 2 * sim.Millisecond,
 						DynamicInterval: iv, DynamicMin: 36,
 					})
-					fmt.Fprintf(w, " %8.1f", r.MOPS)
+					t.Add(row.name, float64(paperMS[i]), r.MOPS)
 				}
-				fmt.Fprintln(w)
 			}
+			return []result.Table{*t}
 		},
 	})
 }

@@ -1,0 +1,27 @@
+package result
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSON renders the document as stable, diffable JSON: two-space
+// indent, fields in struct-declaration order, no map iteration
+// anywhere in the schema, and a trailing newline. The same document
+// always renders to the same bytes, and rendered bytes round-trip
+// (Unmarshal then JSON again reproduces them exactly — float64 values
+// survive Go's shortest-representation encoding).
+func JSON(w io.Writer, doc *Document) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ParseJSON reads a document rendered by JSON.
+func ParseJSON(r io.Reader) (*Document, error) {
+	var doc Document
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}

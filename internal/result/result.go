@@ -1,0 +1,160 @@
+// Package result defines the typed tables every experiment runner in
+// internal/bench returns, and the two renderers that turn them into
+// output: a text renderer reproducing the paper-style row/column
+// tables, and a JSON renderer whose output is stable and diffable
+// (fixed field order, no map iteration, trailing newline).
+//
+// A Table is one figure panel or table: a primary axis (the rows),
+// named series (the columns), and one {x, value} point per cell.
+// Shape checks (internal/bench/shapes.go) consume Tables directly, so
+// the same values that render to text are the values the paper's
+// qualitative claims are asserted against.
+package result
+
+import "strconv"
+
+// Point is one measured cell: the primary-axis position and the value.
+// Label, when set, replaces the formatted X in rendered output (used
+// for non-numeric rows such as the "max"/unthrottled latency point or
+// the ">=3" retry bucket).
+type Point struct {
+	X     float64 `json:"x"`
+	Label string  `json:"label,omitempty"`
+	Value float64 `json:"value"`
+}
+
+// Series is one named column of a table.
+type Series struct {
+	Name string `json:"name"`
+	// Unit qualifies Value when it differs from the table's YUnit
+	// (e.g. a latency column inside a throughput table).
+	Unit string `json:"unit,omitempty"`
+	// Prec is the number of decimals the text renderer prints.
+	Prec   int     `json:"prec"`
+	Points []Point `json:"points"`
+}
+
+// Table is one experiment panel.
+type Table struct {
+	// ID names the panel within its experiment, e.g. "fig4b" or
+	// "fig7-scaleup-read-heavy".
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	XLabel string `json:"xlabel"`
+	XUnit  string `json:"xunit,omitempty"`
+	// YUnit is the default unit of every series' values.
+	YUnit string `json:"yunit,omitempty"`
+	// Prec is the default text precision for series that don't set one.
+	Prec   int      `json:"prec"`
+	Series []Series `json:"series"`
+}
+
+// Document is the root of the JSON output: the run configuration plus
+// every experiment's tables, in run order.
+type Document struct {
+	Generator   string       `json:"generator"`
+	Paper       string       `json:"paper"`
+	Quick       bool         `json:"quick"`
+	Seed        int64        `json:"seed"`
+	Experiments []Experiment `json:"experiments"`
+}
+
+// Experiment groups the tables of one registered experiment.
+type Experiment struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	Tables []Table `json:"tables"`
+}
+
+// NewTable returns an empty table with the given identity and a
+// default precision of 2.
+func NewTable(id, title, xlabel string) *Table {
+	return &Table{ID: id, Title: title, XLabel: xlabel, Prec: 2}
+}
+
+// Def declares a series with an explicit unit and precision. Declaring
+// fixes column order; Add creates undeclared series on first use.
+func (t *Table) Def(name, unit string, prec int) {
+	if t.series(name) == nil {
+		t.Series = append(t.Series, Series{Name: name, Unit: unit, Prec: prec})
+	}
+}
+
+// Add appends the point {x, v} to the named series, creating the
+// series with the table's default precision if it wasn't declared.
+func (t *Table) Add(series string, x, v float64) {
+	t.AddLabeled(series, x, "", v)
+}
+
+// AddLabeled is Add with an explicit row label.
+func (t *Table) AddLabeled(series string, x float64, label string, v float64) {
+	s := t.series(series)
+	if s == nil {
+		t.Series = append(t.Series, Series{Name: series, Prec: t.Prec})
+		s = &t.Series[len(t.Series)-1]
+	}
+	s.Points = append(s.Points, Point{X: x, Label: label, Value: v})
+}
+
+func (t *Table) series(name string) *Series {
+	for i := range t.Series {
+		if t.Series[i].Name == name {
+			return &t.Series[i]
+		}
+	}
+	return nil
+}
+
+// Get returns the named series' value at x.
+func (t *Table) Get(series string, x float64) (float64, bool) {
+	if s := t.series(series); s != nil {
+		for _, p := range s.Points {
+			if p.X == x {
+				return p.Value, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// GetLabel returns the named series' value at the labeled row.
+func (t *Table) GetLabel(series, label string) (float64, bool) {
+	if s := t.series(series); s != nil {
+		for _, p := range s.Points {
+			if p.Label == label {
+				return p.Value, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Points returns a copy of the named series' points (nil if absent).
+func (t *Table) Points(series string) []Point {
+	s := t.series(series)
+	if s == nil {
+		return nil
+	}
+	out := make([]Point, len(s.Points))
+	copy(out, s.Points)
+	return out
+}
+
+// Find returns the table with the given ID, or nil.
+func Find(tables []Table, id string) *Table {
+	for i := range tables {
+		if tables[i].ID == id {
+			return &tables[i]
+		}
+	}
+	return nil
+}
+
+// formatX renders a row key: the label when present, otherwise the
+// shortest exact decimal form of x.
+func (p Point) formatX() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return strconv.FormatFloat(p.X, 'g', -1, 64)
+}

@@ -1,0 +1,161 @@
+package result
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("figX", "Fig. X — demo", "threads")
+	t.YUnit = "MOPS"
+	t.Prec = 1
+	t.Def("p50", "us", 1)
+	t.Add("base", 8, 1.25)
+	t.Add("base", 96, 10)
+	t.Add("smart", 8, 2.5)
+	t.Add("smart", 96, 40.125)
+	t.Add("p50", 8, 3.5)
+	t.AddLabeled("p50", 0, "max", 99.9)
+	return t
+}
+
+func TestTableLookups(t *testing.T) {
+	tb := sample()
+	if v, ok := tb.Get("smart", 96); !ok || v != 40.125 {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	if _, ok := tb.Get("smart", 7); ok {
+		t.Fatal("missing x resolved")
+	}
+	if _, ok := tb.Get("nope", 8); ok {
+		t.Fatal("missing series resolved")
+	}
+	if v, ok := tb.GetLabel("p50", "max"); !ok || v != 99.9 {
+		t.Fatalf("GetLabel = %v, %v", v, ok)
+	}
+	if got := len(tb.Points("base")); got != 2 {
+		t.Fatalf("Points len = %d", got)
+	}
+	if tb.Points("nope") != nil {
+		t.Fatal("Points for missing series not nil")
+	}
+	tables := []Table{*tb}
+	if Find(tables, "figX") == nil || Find(tables, "figY") != nil {
+		t.Fatal("Find wrong")
+	}
+}
+
+func TestDefFixesOrderAndUnits(t *testing.T) {
+	tb := NewTable("t", "t", "x")
+	tb.Def("second", "us", 3)
+	tb.Add("second", 1, 2)
+	tb.Add("first", 1, 1) // created on first Add, after the declared one
+	if tb.Series[0].Name != "second" || tb.Series[0].Unit != "us" || tb.Series[0].Prec != 3 {
+		t.Fatalf("declared series wrong: %+v", tb.Series[0])
+	}
+	if tb.Series[1].Name != "first" || tb.Series[1].Prec != tb.Prec {
+		t.Fatalf("auto-created series wrong: %+v", tb.Series[1])
+	}
+	tb.Def("second", "ms", 9) // re-declaring must not duplicate
+	if len(tb.Series) != 2 || tb.Series[0].Unit != "us" {
+		t.Fatalf("Def duplicated or overwrote: %+v", tb.Series)
+	}
+}
+
+func TestTextRendering(t *testing.T) {
+	var buf bytes.Buffer
+	Text(&buf, []Table{*sample()})
+	out := buf.String()
+	for _, want := range []string{
+		"=== Fig. X — demo ===",
+		"threads", "base", "smart", "p50 (us)",
+		"40.1", // prec 1 from the table default
+		"max",  // labeled row
+		"-",    // base has no point at the labeled row
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Rendering is a pure function of the tables.
+	var buf2 bytes.Buffer
+	Text(&buf2, []Table{*sample()})
+	if buf.String() != buf2.String() {
+		t.Error("text rendering not deterministic")
+	}
+	// Every data row has one cell per series plus the x column.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	header := lines[1]
+	if !strings.HasPrefix(strings.TrimSpace(header), "threads") {
+		t.Errorf("header row wrong: %q", header)
+	}
+	if len(lines) != 2+3 { // banner, header, rows 8/96/max
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTextXUnitSuffix(t *testing.T) {
+	tb := NewTable("t", "T", "interval")
+	tb.XUnit = "paper ms"
+	tb.Add("s", 64, 1)
+	var buf bytes.Buffer
+	Text(&buf, []Table{*tb})
+	if !strings.Contains(buf.String(), "interval (paper ms)") {
+		t.Errorf("x unit not rendered:\n%s", buf.String())
+	}
+}
+
+func TestJSONStableAndRoundTrips(t *testing.T) {
+	doc := &Document{
+		Generator:   "smartbench",
+		Paper:       "SMART",
+		Quick:       true,
+		Seed:        7,
+		Experiments: []Experiment{{ID: "figX", Title: "demo", Tables: []Table{*sample()}}},
+	}
+	var a, b bytes.Buffer
+	if err := JSON(&a, doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := JSON(&b, doc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same document rendered differently")
+	}
+	if !bytes.HasSuffix(a.Bytes(), []byte("\n")) {
+		t.Error("no trailing newline")
+	}
+
+	parsed, err := ParseJSON(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c bytes.Buffer
+	if err := JSON(&c, parsed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatalf("round trip changed bytes:\n--- a\n%s\n--- c\n%s", a.String(), c.String())
+	}
+
+	// Field order is fixed: the run config precedes the data.
+	s := a.String()
+	if !(strings.Index(s, `"generator"`) < strings.Index(s, `"seed"`) &&
+		strings.Index(s, `"seed"`) < strings.Index(s, `"experiments"`)) {
+		t.Errorf("field order drifted:\n%s", s)
+	}
+}
+
+func TestFormatX(t *testing.T) {
+	if got := (Point{X: 96}).formatX(); got != "96" {
+		t.Errorf("formatX(96) = %q", got)
+	}
+	if got := (Point{X: 0.99}).formatX(); got != "0.99" {
+		t.Errorf("formatX(0.99) = %q", got)
+	}
+	if got := (Point{X: 0, Label: "max"}).formatX(); got != "max" {
+		t.Errorf("formatX(max) = %q", got)
+	}
+}

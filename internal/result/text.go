@@ -1,0 +1,93 @@
+package result
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text renders tables in the row/column layout the fmt-based runners
+// used to print: a banner per table, the x axis in the first column,
+// one column per series. Rows follow first-appearance order across
+// series; cells a series never measured render as "-".
+func Text(w io.Writer, tables []Table) {
+	for _, t := range tables {
+		textTable(w, &t)
+	}
+}
+
+func textTable(w io.Writer, t *Table) {
+	fmt.Fprintf(w, "\n=== %s ===\n", t.Title)
+
+	// Row keys in first-appearance order.
+	var keys []string
+	seen := map[string]bool{}
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			if k := p.formatX(); !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+
+	// Cell text per series, keyed by row.
+	cells := make([]map[string]string, len(t.Series))
+	for i, s := range t.Series {
+		prec := s.Prec
+		if prec == 0 {
+			prec = t.Prec
+		}
+		cells[i] = make(map[string]string, len(s.Points))
+		for _, p := range s.Points {
+			cells[i][p.formatX()] = strconv.FormatFloat(p.Value, 'f', prec, 64)
+		}
+	}
+
+	xHeader := t.XLabel
+	if t.XUnit != "" {
+		xHeader += " (" + t.XUnit + ")"
+	}
+	xWidth := len(xHeader)
+	for _, k := range keys {
+		if len(k) > xWidth {
+			xWidth = len(k)
+		}
+	}
+
+	headers := make([]string, len(t.Series))
+	widths := make([]int, len(t.Series))
+	for i, s := range t.Series {
+		headers[i] = s.Name
+		if s.Unit != "" {
+			headers[i] += " (" + s.Unit + ")"
+		}
+		widths[i] = len(headers[i])
+		for _, cell := range cells[i] {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+
+	pad := func(s string, w int) string {
+		return strings.Repeat(" ", w-len(s)) + s
+	}
+	fmt.Fprint(w, pad(xHeader, xWidth))
+	for i := range t.Series {
+		fmt.Fprint(w, "  ", pad(headers[i], widths[i]))
+	}
+	fmt.Fprintln(w)
+	for _, k := range keys {
+		fmt.Fprint(w, pad(k, xWidth))
+		for i := range t.Series {
+			cell, ok := cells[i][k]
+			if !ok {
+				cell = "-"
+			}
+			fmt.Fprint(w, "  ", pad(cell, widths[i]))
+		}
+		fmt.Fprintln(w)
+	}
+}

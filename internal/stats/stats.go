@@ -123,6 +123,39 @@ func (h *Hist) Median() sim.Time { return h.Quantile(0.5) }
 // P99 is Quantile(0.99).
 func (h *Hist) P99() sim.Time { return h.Quantile(0.99) }
 
+// Summary is the exported percentile digest of a histogram, in the
+// shape the result tables consume.
+type Summary struct {
+	Count uint64
+	Mean  sim.Time
+	Min   sim.Time
+	P50   sim.Time
+	P99   sim.Time
+	Max   sim.Time
+}
+
+// Summary extracts every headline statistic in one pass-friendly
+// bundle (all zeros when the histogram is empty).
+func (h *Hist) Summary() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		P50:   h.Median(),
+		P99:   h.P99(),
+		Max:   h.Max(),
+	}
+}
+
+// Quantiles returns the quantile at each of qs, in order.
+func (h *Hist) Quantiles(qs ...float64) []sim.Time {
+	out := make([]sim.Time, len(qs))
+	for i, q := range qs {
+		out[i] = h.Quantile(q)
+	}
+	return out
+}
+
 // Reset clears all samples.
 func (h *Hist) Reset() {
 	for i := range h.counts {
@@ -203,6 +236,28 @@ func (d *CountDist) FracAtLeast(v int) float64 {
 		}
 	}
 	return float64(n) / float64(d.total)
+}
+
+// Bucket is one exported count-distribution entry.
+type Bucket struct {
+	Value int
+	Count uint64
+}
+
+// Export returns the buckets in ascending value order — the stable
+// series form the result tables and shape checks consume.
+func (d *CountDist) Export() []Bucket {
+	keys := make([]int, 0, len(d.counts))
+	//smartlint:ignore maporder — keys are sorted on the next line
+	for k := range d.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]Bucket, len(keys))
+	for i, k := range keys {
+		out[i] = Bucket{Value: k, Count: d.counts[k]}
+	}
+	return out
 }
 
 // Merge adds all of o's observations into d.

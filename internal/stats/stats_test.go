@@ -144,3 +144,71 @@ func TestCountDistEmpty(t *testing.T) {
 		t.Fatal("empty dist must report zeros")
 	}
 }
+
+func TestHistSummary(t *testing.T) {
+	h := NewHist()
+	if s := h.Summary(); s != (Summary{}) {
+		t.Fatalf("empty Summary = %+v, want zeros", s)
+	}
+	for _, v := range []sim.Time{100, 200, 300, 400} {
+		h.Add(v)
+	}
+	s := h.Summary()
+	if s.Count != 4 || s.Mean != 250 || s.Min != 100 || s.Max != 400 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.P50 != h.Median() || s.P99 != h.P99() {
+		t.Fatalf("Summary percentiles disagree with Quantile: %+v", s)
+	}
+	if s.P99 < s.P50 || s.P50 < s.Min || s.Max < s.P99 {
+		t.Fatalf("Summary not ordered: %+v", s)
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	h := NewHist()
+	for i := 1; i <= 1000; i++ {
+		h.Add(sim.Time(i))
+	}
+	qs := h.Quantiles(0.1, 0.5, 0.99)
+	if len(qs) != 3 {
+		t.Fatalf("Quantiles returned %d values", len(qs))
+	}
+	if qs[0] > qs[1] || qs[1] > qs[2] {
+		t.Fatalf("Quantiles not monotone: %v", qs)
+	}
+	if qs[1] != h.Quantile(0.5) || qs[2] != h.Quantile(0.99) {
+		t.Fatalf("Quantiles disagree with Quantile: %v", qs)
+	}
+	if got := h.Quantiles(); len(got) != 0 {
+		t.Fatalf("Quantiles() = %v, want empty", got)
+	}
+}
+
+func TestCountDistExport(t *testing.T) {
+	d := NewCountDist()
+	for _, v := range []int{5, 0, 5, 2, 0, 0} {
+		d.Add(v)
+	}
+	got := d.Export()
+	want := []Bucket{{0, 3}, {2, 1}, {5, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("Export = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Export[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Stable across calls — the exported order is the contract that
+	// lets renderers stay deterministic.
+	again := d.Export()
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatal("Export order not stable")
+		}
+	}
+	if NewCountDist().Export() != nil && len(NewCountDist().Export()) != 0 {
+		t.Fatal("empty Export must be empty")
+	}
+}
