@@ -8,9 +8,20 @@
 //	smartbench -exp fig7,fig8 -quick       # sparse sweeps for a fast pass
 //	smartbench -exp all -quick -check \
 //	    -format json -out bench_quick.json # machine-readable + shape gate
+//	smartbench -exp fig3 -quick \
+//	    -telemetry telem.json              # + instrumented run, counters to file
+//	smartbench -exp fig13 -quick -trace 64 # dump the last 64 telemetry events
+//
+// -telemetry additionally runs the instrumented (software Neo-Host)
+// variant of each selected experiment that has one and writes the
+// harvested counters and controller trajectories as a JSON document to
+// the given path. -trace N keeps the last N telemetry events of a
+// single instrumented run and dumps them, sim-time-stamped, to the
+// progress stream.
 //
 // Exit status: 0 on success, 1 when -check finds shape violations,
-// 2 on usage errors (no -exp, unknown ID, bad flag values).
+// 2 on usage errors (no -exp, unknown ID, bad flag values, -telemetry
+// or -trace with no instrumented experiment selected).
 package main
 
 import (
@@ -40,6 +51,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out    = fs.String("out", "", "write rendered output to this file instead of stdout")
 		check  = fs.Bool("check", false, "assert the paper's qualitative shapes; exit 1 on violations")
 		seed   = fs.Int64("seed", 0, "offset every experiment's built-in seeds (0 = published numbers)")
+		telem  = fs.String("telemetry", "", "also run instrumented variants; write their counters as JSON to this file")
+		trace  = fs.Int("trace", 0, "keep the last N telemetry events of one instrumented run and dump them")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -59,6 +72,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *format != "text" && *format != "json" {
 		fmt.Fprintf(stderr, "smartbench: unknown -format %q (want text or json)\n", *format)
+		return 2
+	}
+	if *trace < 0 {
+		fmt.Fprintf(stderr, "smartbench: -trace %d is negative (want an event count)\n", *trace)
 		return 2
 	}
 
@@ -81,6 +98,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			selected = append(selected, e)
 		}
+	}
+
+	// -telemetry and -trace only make sense against experiments that
+	// have instrumented variants; reject empty selections up front
+	// rather than silently writing an empty document.
+	instrumented := 0
+	for _, e := range selected {
+		if bench.HasTelemetry(e.ID) {
+			instrumented++
+		}
+	}
+	if *telem != "" && instrumented == 0 {
+		fmt.Fprintf(stderr, "smartbench: -telemetry needs an instrumented experiment; have: %s\n",
+			strings.Join(bench.TelemetryExperiments(), ", "))
+		return 2
+	}
+	if *trace > 0 && instrumented != 1 {
+		fmt.Fprintf(stderr, "smartbench: -trace follows a single instrumented run; select exactly one of: %s\n",
+			strings.Join(bench.TelemetryExperiments(), ", "))
+		return 2
 	}
 
 	// With -format json the document must be the only bytes on the
@@ -107,6 +144,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Quick:     *quick,
 		Seed:      *seed,
 	}
+	telemetryWanted := *telem != "" || *trace > 0
+	telemDoc := &result.Document{
+		Generator: "smartbench-telemetry",
+		Paper:     doc.Paper,
+		Quick:     *quick,
+		Seed:      *seed,
+	}
 	var violations []bench.Violation
 	for _, e := range selected {
 		start := time.Now()
@@ -121,6 +165,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *check {
 			violations = append(violations, bench.Check(e.ID, tables)...)
 		}
+		if telemetryWanted && bench.HasTelemetry(e.ID) {
+			fmt.Fprintf(progress, "\n[%s: running instrumented variant]\n", e.ID)
+			reg, ttables, _ := bench.RunTelemetry(e.ID, *quick, *seed, *trace)
+			telemDoc.Experiments = append(telemDoc.Experiments, result.Experiment{
+				ID: e.ID, Title: e.Title, Tables: ttables,
+			})
+			if *check {
+				violations = append(violations, bench.CheckTelemetry(e.ID, ttables)...)
+			}
+			if *trace > 0 {
+				reg.Trace().Write(progress)
+			}
+		}
 		fmt.Fprintf(progress, "\n[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	if *format == "json" {
@@ -128,6 +185,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "smartbench: %v\n", err)
 			return 2
 		}
+	}
+	if *telem != "" {
+		f, err := os.Create(*telem)
+		if err != nil {
+			fmt.Fprintf(stderr, "smartbench: %v\n", err)
+			return 2
+		}
+		if err := result.JSON(f, telemDoc); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "smartbench: %v\n", err)
+			return 2
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(stderr, "smartbench: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(progress, "\n[telemetry written to %s]\n", *telem)
 	}
 
 	if *check {
@@ -146,8 +220,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 func printList(w io.Writer) {
 	fmt.Fprintln(w, "experiments:")
 	for _, e := range bench.All() {
-		fmt.Fprintf(w, "  %-12s %s\n", e.ID, e.Title)
+		mark := " "
+		if bench.HasTelemetry(e.ID) {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "  %-12s %s %s\n", e.ID, mark, e.Title)
 	}
+	fmt.Fprintln(w, "\n'*' marks experiments with an instrumented (software Neo-Host)")
+	fmt.Fprintln(w, "variant: add -telemetry <file.json> to harvest its counters and")
+	fmt.Fprintln(w, "controller trajectories, and -trace <N> to dump its last N events.")
 }
 
 // nearestID returns the registered experiment ID with the smallest

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/result"
+)
+
+// runCLI invokes run with captured output streams.
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestUsageErrorsExit2(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of stderr
+	}{
+		{"no experiment", nil, "no experiment selected"},
+		{"unknown experiment", []string{"-exp", "fig33"}, "did you mean"},
+		{"unknown format", []string{"-exp", "fig3", "-format", "yaml"}, "unknown -format"},
+		{"negative trace", []string{"-exp", "fig13", "-trace", "-5"}, "negative"},
+		{"trace without instrumented run", []string{"-exp", "fig4", "-trace", "16"}, "exactly one of"},
+		{"trace across two instrumented runs", []string{"-exp", "fig3,fig13", "-trace", "16"}, "exactly one of"},
+		{"telemetry without instrumented run", []string{"-exp", "fig4", "-telemetry", "t.json"}, "needs an instrumented experiment"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, _, stderr := runCLI(c.args...)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2; stderr:\n%s", code, stderr)
+			}
+			if !strings.Contains(stderr, c.want) {
+				t.Errorf("stderr missing %q:\n%s", c.want, stderr)
+			}
+		})
+	}
+}
+
+func TestListMarksInstrumentedExperiments(t *testing.T) {
+	code, stdout, _ := runCLI("-list")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, id := range []string{"fig3", "fig13", "fig14"} {
+		found := false
+		for _, line := range strings.Split(stdout, "\n") {
+			if strings.Contains(line, id+" ") && strings.Contains(line, "*") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("instrumented experiment %s not marked with '*':\n%s", id, stdout)
+		}
+	}
+	if strings.Contains(stdout, "fig4  *") {
+		t.Error("fig4 wrongly marked as instrumented")
+	}
+	for _, flag := range []string{"-telemetry", "-trace"} {
+		if !strings.Contains(stdout, flag) {
+			t.Errorf("list footer does not mention %s:\n%s", flag, stdout)
+		}
+	}
+}
+
+// TestTelemetryRunEndToEnd exercises the full -telemetry/-trace path:
+// the instrumented fig13 run must write a parseable telemetry document
+// containing the C_max trajectory, dump a trace to the progress
+// stream, and keep the -format json stdout pure.
+func TestTelemetryRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real instrumented experiment")
+	}
+	dir := t.TempDir()
+	telem := filepath.Join(dir, "telem.json")
+	out := filepath.Join(dir, "results.json")
+
+	code, stdout, stderr := runCLI(
+		"-exp", "fig13", "-quick", "-format", "json",
+		"-out", out, "-telemetry", telem, "-trace", "16")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr:\n%s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("-out set but stdout not empty:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "trace:") || !strings.Contains(stderr, "op-end") {
+		t.Errorf("progress stream missing the event trace:\n%s", stderr)
+	}
+
+	f, err := os.Open(telem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	doc, err := result.ParseJSON(f)
+	if err != nil {
+		t.Fatalf("telemetry output is not valid JSON: %v", err)
+	}
+	if doc.Generator != "smartbench-telemetry" {
+		t.Errorf("generator = %q, want smartbench-telemetry", doc.Generator)
+	}
+	if len(doc.Experiments) != 1 || doc.Experiments[0].ID != "fig13" {
+		t.Fatalf("telemetry experiments = %+v, want one fig13 entry", doc.Experiments)
+	}
+	tables := doc.Experiments[0].Tables
+	if result.Find(tables, "cmax-trajectory") == nil {
+		t.Error("telemetry document missing the cmax-trajectory table")
+	}
+	if result.Find(tables, "counters") == nil {
+		t.Error("telemetry document missing the counters table")
+	}
+
+	// The regular results document must be untouched by telemetry mode.
+	rf, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	rdoc, err := result.ParseJSON(rf)
+	if err != nil {
+		t.Fatalf("results output is not valid JSON: %v", err)
+	}
+	if rdoc.Generator != "smartbench" {
+		t.Errorf("results generator = %q, want smartbench", rdoc.Generator)
+	}
+}

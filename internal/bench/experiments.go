@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/result"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Experiment is one reproducible table or figure from the paper.
@@ -40,6 +41,46 @@ func All() []*Experiment {
 		out[i] = registry[id]
 	}
 	return out
+}
+
+// TelemetryRunner executes an experiment's instrumented variant: a
+// representative run (or small sweep) with a telemetry registry
+// attached, returning the registry's exported tables. trace > 0
+// enables an event ring of that capacity on the registry.
+type TelemetryRunner func(quick bool, seed int64, trace int) (*telemetry.Registry, []result.Table)
+
+// telemetryRunners is kept separate from the experiment registry so
+// registration order cannot depend on file-init order; runners are
+// looked up by experiment ID at call time.
+var telemetryRunners = map[string]TelemetryRunner{}
+
+func registerTelemetry(id string, r TelemetryRunner) { telemetryRunners[id] = r }
+
+// HasTelemetry reports whether the experiment has an instrumented
+// variant.
+func HasTelemetry(id string) bool { return telemetryRunners[id] != nil }
+
+// TelemetryExperiments returns the IDs with instrumented variants, in
+// ID order.
+func TelemetryExperiments() []string {
+	ids := make([]string, 0, len(telemetryRunners))
+	//smartlint:ignore maporder — ids are sorted on the next line
+	for id := range telemetryRunners {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunTelemetry executes the instrumented variant of experiment id.
+// The boolean is false when the experiment has none.
+func RunTelemetry(id string, quick bool, seed int64, trace int) (*telemetry.Registry, []result.Table, bool) {
+	r := telemetryRunners[id]
+	if r == nil {
+		return nil, nil, false
+	}
+	reg, tables := r(quick, seed, trace)
+	return reg, tables, true
 }
 
 // threadGrid returns the paper's thread-count sweep (or a sparse one).

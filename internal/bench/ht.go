@@ -9,6 +9,7 @@ import (
 	"repro/internal/race"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -32,6 +33,11 @@ type HTConfig struct {
 	// this aggregate operation rate (the Fig. 9 latency-throughput
 	// sweep). Each task spaces its operations to hit the target.
 	TargetMOPS float64
+
+	// Telemetry, when set, receives the run's software Neo-Host
+	// instrumentation. With several compute blades, each blade's
+	// counters are namespaced "b<i>/".
+	Telemetry *telemetry.Registry
 }
 
 // HTResult is one measured point of a hash-table run.
@@ -142,7 +148,12 @@ func RunHT(cfg HTConfig) HTResult {
 
 	var runtimes []*core.Runtime
 	for b, comp := range cl.Computes {
-		rt := core.MustNew(comp.NIC, cl.Targets(), cfg.ThreadsPerBlade, cfg.Opts)
+		opts := cfg.Opts
+		opts.Telemetry = cfg.Telemetry
+		if cfg.Telemetry != nil && cfg.ComputeBlades > 1 {
+			opts.TelemetryPrefix = fmt.Sprintf("b%d/", b)
+		}
+		rt := core.MustNew(comp.NIC, cl.Targets(), cfg.ThreadsPerBlade, opts)
 		runtimes = append(runtimes, rt)
 		client := race.NewClient(tbl)
 		depth := rt.Options().Depth
@@ -193,6 +204,7 @@ func RunHT(cfg HTConfig) HTResult {
 	for _, rt := range runtimes {
 		failed += rt.TotalStats().CASFailed
 		rt.Stop()
+		rt.Collect(cfg.Telemetry)
 	}
 	for _, comp := range cl.Computes {
 		verbs += comp.NIC.Snapshot().Completed

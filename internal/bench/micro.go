@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/rnic"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // MicroConfig drives the §3.1 bench tool: every thread repeatedly
@@ -36,6 +37,11 @@ type MicroConfig struct {
 	// [DynamicMin, Threads] every interval.
 	DynamicInterval sim.Time
 	DynamicMin      int
+
+	// Telemetry, when set, receives the run's software Neo-Host
+	// instrumentation: live controller trajectories during the run and
+	// the full layer-counter harvest afterwards.
+	Telemetry *telemetry.Registry
 }
 
 // MicroResult is one measured point.
@@ -79,6 +85,7 @@ func RunMicro(cfg MicroConfig) MicroResult {
 		regions[i] = m.Mem.Alloc(cfg.Region)
 	}
 
+	cfg.Opts.Telemetry = cfg.Telemetry
 	rt := core.MustNew(cl.Computes[0].NIC, cl.Targets(), cfg.Threads, cfg.Opts)
 	defer rt.Stop()
 
@@ -123,6 +130,11 @@ func RunMicro(cfg MicroConfig) MicroResult {
 				for !active[i] && c.Now() < horizon {
 					gates[i].Wait(c.Proc())
 				}
+				// Each post round is one "operation" for the stats and
+				// latency layer. Pure bookkeeping for the micro configs
+				// (none enable coroutine throttling), so instrumented and
+				// uninstrumented runs schedule identical events.
+				c.BeginOp()
 				for k := 0; k < cfg.Batch; k++ {
 					b := rng.Intn(cfg.Blades)
 					off := uint64(rng.Int63n(int64(slots))) * uint64(cfg.Payload)
@@ -136,6 +148,7 @@ func RunMicro(cfg MicroConfig) MicroResult {
 				}
 				c.PostSend()
 				c.Sync()
+				c.EndOp()
 			}
 		})
 	}
@@ -145,6 +158,7 @@ func RunMicro(cfg MicroConfig) MicroResult {
 	eng.Run(horizon)
 	s1 := nic.Snapshot()
 	rt.Stop()
+	rt.Collect(cfg.Telemetry)
 
 	completed := s1.Completed - s0.Completed
 	res := MicroResult{Completed: completed}

@@ -78,6 +78,21 @@ func (v *tv) minMaxFrom(tableID, series string, from float64) (min, max float64)
 	return min, max
 }
 
+// points returns a series' points, recording an empty or missing
+// series as a violation.
+func (v *tv) points(tableID, series string) []result.Point {
+	t := result.Find(v.tables, tableID)
+	if t == nil {
+		v.missing = append(v.missing, tableID)
+		return nil
+	}
+	pts := t.Points(series)
+	if len(pts) == 0 {
+		v.missing = append(v.missing, fmt.Sprintf("%s[%s]", tableID, series))
+	}
+	return pts
+}
+
 // seriesMax returns the largest value across every series of a table.
 func (v *tv) seriesMax(tableID string) float64 {
 	t := result.Find(v.tables, tableID)
@@ -297,12 +312,86 @@ var shapeChecks = []shapeCheck{
 	}},
 }
 
-// Check runs every registered shape check for experiment id over its
-// tables and returns the violations (nil when the shape holds or the
-// experiment has no checks).
-func Check(id string, tables []result.Table) []Violation {
+// telemetryShapeChecks are the predicates over the *instrumented*
+// experiment variants (internal counters and controller trajectories,
+// not end throughput). They live in their own list — keyed by the
+// same experiment IDs but checked against telemetry tables — so the
+// experiment-side registry invariants (every Check ID is a registered
+// experiment, counted exactly once) stay intact.
+var telemetryShapeChecks = []shapeCheck{
+	{"fig3", "telemetry/fig3/contention-grows-with-thread-db-ratio", func(v *tv) (string, bool) {
+		// §4.1: with the driver's 12 medium doorbells, the fraction of
+		// doorbell lock acquisitions that contend grows with the
+		// thread/doorbell ratio — near zero when threads <= doorbells,
+		// dominant at 96 threads. (The raw contended *count* is not
+		// monotone: total rings collapse with throughput.)
+		pts := v.points("db-contention", "per-thread-qp")
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Value < pts[i-1].Value-0.02 {
+				return fmt.Sprintf("contended fraction fell %g->%g threads: %.3f -> %.3f",
+					pts[i-1].X, pts[i].X, pts[i-1].Value, pts[i].Value), false
+			}
+		}
+		if len(pts) == 0 {
+			return "", false
+		}
+		lastFrac := pts[len(pts)-1].Value
+		return fmt.Sprintf("per-thread-qp contended fraction non-decreasing, %.3f at %g threads (need >= 0.5)",
+			lastFrac, pts[len(pts)-1].X), lastFrac >= 0.5
+	}},
+	{"fig3", "telemetry/fig3/private-doorbells-kill-contention", func(v *tv) (string, bool) {
+		// §4.1: thread-aware allocation gives every thread a private
+		// doorbell, so the contention that dominates per-thread-qp all
+		// but disappears.
+		qp := v.at("db-contention", "per-thread-qp", 96)
+		db := v.at("db-contention", "per-thread-doorbell", 96)
+		return fmt.Sprintf("contended fraction @96thr: per-thread-doorbell %.3f vs per-thread-qp %.3f (need <= 0.1x)",
+			db, qp), qp >= 0.5 && db <= 0.1*qp
+	}},
+	{"fig13", "telemetry/fig13/cmax-trajectory-recorded", func(v *tv) (string, bool) {
+		// §4.2: Algorithm 1 must actually retune — the trajectory needs
+		// the initial ceiling plus at least one epoch adoption, and
+		// every adopted value must come from the candidate list [4,12].
+		pts := v.points("cmax-trajectory", "t0")
+		if len(pts) < 2 {
+			return fmt.Sprintf("C_max trajectory has %d points (need >= 2: initial + adoption)", len(pts)), false
+		}
+		for _, p := range pts {
+			if p.Value < 4 || p.Value > 12 {
+				return fmt.Sprintf("C_max %g at t=%gus outside candidate range [4,12]", p.Value, p.X), false
+			}
+		}
+		return fmt.Sprintf("C_max trajectory: %d points, all within [4,12]", len(pts)), true
+	}},
+	{"fig14", "telemetry/fig14/gamma-sampled", func(v *tv) (string, bool) {
+		// §4.3: the retry-rate ticker must produce a γ sample stream
+		// (several windows) and every sample is a valid rate >= 0.
+		pts := v.points("gamma", "t0")
+		if len(pts) < 3 {
+			return fmt.Sprintf("gamma series has %d samples (need >= 3 windows)", len(pts)), false
+		}
+		for _, p := range pts {
+			if p.Value < 0 {
+				return fmt.Sprintf("gamma %g at t=%gus negative", p.Value, p.X), false
+			}
+		}
+		return fmt.Sprintf("gamma sampled %d windows, all >= 0", len(pts)), true
+	}},
+	{"fig14", "telemetry/fig14/tmax-within-bounds", func(v *tv) (string, bool) {
+		// §4.3: t_max moves only between t0 (3.3 us) and t_M (1024*t0).
+		pts := v.points("tmax-trajectory", "t0")
+		for _, p := range pts {
+			if p.Value < 3.2 || p.Value > 3400 {
+				return fmt.Sprintf("t_max %.2fus at t=%gus outside [t0, t_M] = [3.3, 3380]us", p.Value, p.X), false
+			}
+		}
+		return fmt.Sprintf("t_max trajectory: %d points within [t0, t_M]", len(pts)), true
+	}},
+}
+
+func runChecks(checks []shapeCheck, id string, tables []result.Table) []Violation {
 	var out []Violation
-	for _, c := range shapeChecks {
+	for _, c := range checks {
 		if c.exp != id {
 			continue
 		}
@@ -317,6 +406,19 @@ func Check(id string, tables []result.Table) []Violation {
 		}
 	}
 	return out
+}
+
+// Check runs every registered shape check for experiment id over its
+// tables and returns the violations (nil when the shape holds or the
+// experiment has no checks).
+func Check(id string, tables []result.Table) []Violation {
+	return runChecks(shapeChecks, id, tables)
+}
+
+// CheckTelemetry runs the telemetry shape checks for experiment id
+// over its *instrumented-variant* tables.
+func CheckTelemetry(id string, tables []result.Table) []Violation {
+	return runChecks(telemetryShapeChecks, id, tables)
 }
 
 // CheckNames returns the names of the checks registered for id.

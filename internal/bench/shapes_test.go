@@ -99,9 +99,9 @@ func syntheticFig4() []result.Table {
 	a := result.NewTable("fig4a", "MOPS", "threads")
 	b := result.NewTable("fig4b", "DMA", "threads")
 	for _, row := range []struct {
-		owr       string
-		t36, t96  float64
-		d36, d96  float64
+		owr      string
+		t36, t96 float64
+		d36, d96 float64
 	}{
 		{"owr=2", 20, 54, 95, 95},
 		{"owr=8", 64, 102, 95, 95},

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/result"
+	"repro/internal/rnic"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// This file registers the instrumented (software Neo-Host) variants of
+// the experiments whose paper argument rests on internal signals the
+// end-to-end sweeps cannot show:
+//
+//   - fig3: §3.1 blames the per-thread-QP collapse on doorbell
+//     spinlock contention. The instrumented sweep measures the
+//     contended fraction of doorbell acquisitions per policy.
+//   - fig13: §4.2's Algorithm 1 is a feedback controller; the
+//     instrumented run records the epoch-by-epoch C_max trajectory.
+//   - fig14: §4.3 adapts c_max and t_max from the observed retry rate
+//     γ; the instrumented run records all three trajectories.
+//
+// Runners are deterministic end to end: same (quick, seed) inputs
+// produce byte-identical telemetry documents.
+
+func newTelemetryRegistry(trace int) *telemetry.Registry {
+	reg := telemetry.New()
+	if trace > 0 {
+		reg.EnableTrace(trace)
+	}
+	return reg
+}
+
+func init() {
+	registerTelemetry("fig3", func(quick bool, seed int64, trace int) (*telemetry.Registry, []result.Table) {
+		reg := newTelemetryRegistry(trace)
+		grid := threadGrid(quick)
+		cg := reg.Group("db-contention",
+			"Contended fraction of doorbell spinlock acquisitions (§3.1)", "threads")
+		cg.Prec = 3
+		raw := reg.Group("db-contended",
+			"Contended doorbell acquisitions (raw count)", "threads")
+		policies := []struct {
+			name string
+			opts core.Options
+		}{
+			{"per-thread-qp", core.Baseline(core.PerThreadQP)},
+			{"per-thread-doorbell", core.Baseline(core.PerThreadDoorbell)},
+		}
+		last := grid[len(grid)-1]
+		for _, thr := range grid {
+			for _, p := range policies {
+				// Each sweep point harvests into a throwaway probe; the
+				// heaviest contended point (per-thread-qp at the top of
+				// the grid) doubles as the representative run whose full
+				// counter set and trace land in the returned registry.
+				probe := telemetry.New()
+				if thr == last && p.opts.Policy == core.PerThreadQP {
+					probe = reg
+				}
+				RunMicro(MicroConfig{
+					Opts: p.opts, Threads: thr, Batch: 8, Op: rnic.OpRead,
+					Seed: 11 + seed, Telemetry: probe,
+				})
+				acq := probe.Value("db/acquisitions-total")
+				cont := probe.Value("db/contended-total")
+				frac := 0.0
+				if acq > 0 {
+					frac = float64(cont) / float64(acq)
+				}
+				cg.SeriesDef(p.name, "", 3).Record(float64(thr), frac)
+				raw.Series(p.name).Record(float64(thr), float64(cont))
+			}
+		}
+		return reg, reg.Tables("")
+	})
+
+	registerTelemetry("fig13", func(quick bool, seed int64, trace int) (*telemetry.Registry, []result.Table) {
+		// One representative throttled run at the top thread count: the
+		// point of the instrumented variant is Algorithm 1's C_max
+		// trajectory, which the throughput table cannot show.
+		reg := newTelemetryRegistry(trace)
+		throttled := core.Baseline(core.PerThreadDoorbell)
+		throttled.WorkReqThrottle = true
+		throttled.UpdateDelta = 400 * sim.Microsecond
+		RunMicro(MicroConfig{
+			Opts: throttled, Threads: 96, Batch: 16, Op: rnic.OpRead,
+			Seed: 13 + seed, Telemetry: reg,
+		})
+		return reg, reg.Tables("")
+	})
+
+	registerTelemetry("fig14", func(quick bool, seed int64, trace int) (*telemetry.Registry, []result.Table) {
+		// Full conflict-avoidance stack under the contended update-only
+		// workload: records γ samples and the c_max/t_max responses.
+		reg := newTelemetryRegistry(trace)
+		runHTQ(quick, HTConfig{
+			Opts: core.Smart(), ThreadsPerBlade: 96,
+			Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys,
+			Seed: 25 + seed, Telemetry: reg,
+		})
+		return reg, reg.Tables("")
+	})
+}

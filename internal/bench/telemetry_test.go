@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/result"
+)
+
+// telemetryDoc wraps an instrumented run's tables the way smartbench
+// does, so byte comparisons cover the full rendered document.
+func telemetryDoc(id string, tables []result.Table) *result.Document {
+	return &result.Document{
+		Generator: "smartbench-telemetry",
+		Paper:     "SMART (ASPLOS 2024)",
+		Quick:     true,
+		Experiments: []result.Experiment{
+			{ID: id, Title: ByID(id).Title, Tables: tables},
+		},
+	}
+}
+
+// TestTelemetryRegistry pins the instrumented-variant registry: every
+// runner is attached to a registered experiment, lookups agree, and
+// unknown IDs report cleanly.
+func TestTelemetryRegistry(t *testing.T) {
+	ids := TelemetryExperiments()
+	if len(ids) == 0 {
+		t.Fatal("no instrumented experiments registered")
+	}
+	for _, id := range ids {
+		if ByID(id) == nil {
+			t.Errorf("telemetry runner %q has no base experiment", id)
+		}
+		if !HasTelemetry(id) {
+			t.Errorf("HasTelemetry(%q) = false for a registered runner", id)
+		}
+	}
+	if HasTelemetry("fig4") {
+		t.Error("fig4 should not have an instrumented variant")
+	}
+	if _, _, ok := RunTelemetry("no-such-exp", true, 0, 0); ok {
+		t.Error("RunTelemetry for an unknown ID reported ok")
+	}
+}
+
+// TestTelemetryDeterminism is the same-seed contract on the telemetry
+// layer: the instrumented fig13 run, executed twice with the same seed
+// and a trace ring attached, must render to byte-identical JSON and
+// emit the same number of trace events.
+func TestTelemetryDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an instrumented 96-thread run twice")
+	}
+	reg1, tables1, ok := RunTelemetry("fig13", true, 0, 32)
+	if !ok {
+		t.Fatal("fig13 has no telemetry runner")
+	}
+	reg2, tables2, _ := RunTelemetry("fig13", true, 0, 32)
+
+	var j1, j2 bytes.Buffer
+	if err := result.JSON(&j1, telemetryDoc("fig13", tables1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := result.JSON(&j2, telemetryDoc("fig13", tables2)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+		t.Fatalf("same seed rendered different telemetry:\n--- first\n%s\n--- second\n%s", j1.String(), j2.String())
+	}
+	if a, b := reg1.Trace().Total(), reg2.Trace().Total(); a != b {
+		t.Errorf("trace event totals differ: %d vs %d", a, b)
+	}
+	if reg1.Trace().Total() == 0 {
+		t.Error("instrumented fig13 run emitted no trace events")
+	}
+}
+
+// TestTelemetryGolden freezes the fig13 instrumented run's rendered
+// text against a checked-in golden, and checks the telemetry document
+// JSON round-trips. Regenerate with
+// `go test ./internal/bench -run TelemetryGolden -update-golden`.
+func TestTelemetryGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an instrumented 96-thread run")
+	}
+	_, tables, ok := RunTelemetry("fig13", true, 0, 0)
+	if !ok {
+		t.Fatal("fig13 has no telemetry runner")
+	}
+
+	var text bytes.Buffer
+	result.Text(&text, tables)
+	golden := filepath.Join("testdata", "fig13_telemetry_quick.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, text.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(text.Bytes(), want) {
+		t.Errorf("telemetry text drifted from golden:\n--- got\n%s\n--- want\n%s", text.String(), want)
+	}
+
+	var j1 bytes.Buffer
+	if err := result.JSON(&j1, telemetryDoc("fig13", tables)); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := result.ParseJSON(bytes.NewReader(j1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j2 bytes.Buffer
+	if err := result.JSON(&j2, parsed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+		t.Error("telemetry JSON does not round-trip to identical bytes")
+	}
+}
+
+// TestTelemetryShapes runs every instrumented variant in quick mode
+// and asserts its telemetry shape predicates — the CI gate's in-repo
+// equivalent.
+func TestTelemetryShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full instrumented sweeps")
+	}
+	for _, id := range TelemetryExperiments() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			_, tables, ok := RunTelemetry(id, true, 0, 0)
+			if !ok {
+				t.Fatalf("%s has no telemetry runner", id)
+			}
+			for _, v := range CheckTelemetry(id, tables) {
+				t.Errorf("%s: %s", v.Check, v.Detail)
+			}
+		})
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"repro/internal/telemetry"
+	"repro/internal/verbs"
+)
+
+// Collect harvests the run's layer counters into reg — the software
+// Neo-Host snapshot taken after a measurement completes. Live signals
+// (controller trajectories, trace events) stream into the registry
+// during the run via Options.Telemetry; Collect adds everything that
+// is cheaper to read once at the end: RNIC pipeline counters, per-
+// doorbell spinlock totals, scheduler baton traffic, and per-thread
+// operation statistics.
+//
+// Collect is idempotent (harvested values are Set, not accumulated)
+// and deterministic: every walk is over slices in creation order, and
+// the one map involved (QP dedup) is only ever looked up, never
+// ranged.
+func (rt *Runtime) Collect(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	pre := rt.opts.TelemetryPrefix
+
+	// RNIC pipeline totals (each runtime fronts one card).
+	c := rt.nic.Snapshot()
+	reg.Counter(pre + "nic/completed").Set(c.Completed)
+	reg.Counter(pre + "nic/completed-read").Set(c.ByKind[0])
+	reg.Counter(pre + "nic/completed-write").Set(c.ByKind[1])
+	reg.Counter(pre + "nic/completed-cas").Set(c.ByKind[2])
+	reg.Counter(pre + "nic/completed-faa").Set(c.ByKind[3])
+	reg.Counter(pre + "nic/dma-bytes").Set(c.DMABytes)
+	reg.Counter(pre + "nic/wqe-misses").Set(c.WQEMisses)
+	reg.Counter(pre + "nic/mtt-misses").Set(c.MTTMisses)
+	reg.Counter(pre + "nic/atomic-ops").Set(c.AtomicOps)
+	reg.Counter(pre + "nic/bytes-out").Set(c.BytesOnOut)
+	reg.Counter(pre + "nic/bytes-in").Set(c.BytesOnIn)
+	reg.Counter(pre + "nic/contexts").Set(uint64(rt.nic.Contexts()))
+
+	// Doorbell registers: the §3.1 contention evidence. Per-register
+	// series over a global register index, plus aggregate counters the
+	// shape checks consume.
+	dbg := reg.Group(pre+"doorbells",
+		"Doorbell register totals (driver spinlock, §3.1)", "register")
+	rings := dbg.Series("rings")
+	acq := dbg.Series("acquisitions")
+	cont := dbg.Series("contended")
+	hold := dbg.SeriesDef("hold-us", "us", 1)
+	var ringsT, acqT, contT, holdT uint64
+	idx := 0
+	for _, ctx := range rt.ctxs {
+		for _, d := range ctx.Doorbells() {
+			rings.Record(float64(idx), float64(d.Rings))
+			acq.Record(float64(idx), float64(d.Acquisitions()))
+			cont.Record(float64(idx), float64(d.Contended()))
+			hold.Record(float64(idx), float64(d.HoldTicks)/1000)
+			ringsT += d.Rings
+			acqT += d.Acquisitions()
+			contT += d.Contended()
+			holdT += uint64(d.HoldTicks)
+			idx++
+		}
+	}
+	reg.Counter(pre + "db/rings-total").Set(ringsT)
+	reg.Counter(pre + "db/acquisitions-total").Set(acqT)
+	reg.Counter(pre + "db/contended-total").Set(contT)
+	reg.Counter(pre + "db/hold-ticks-total").Set(holdT)
+
+	// Scheduler baton traffic. The engine is shared by every runtime
+	// on it, so these are engine-wide and deliberately unprefixed; Set
+	// keeps repeated harvests from double-counting.
+	reg.Counter("engine/parks").Set(rt.eng.Parks())
+	reg.Counter("engine/wakes").Set(rt.eng.Wakes())
+
+	// Per-thread operation statistics over the thread index.
+	tg := reg.Group(pre+"threads", "Per-thread lifetime statistics", "thread")
+	ops := tg.Series("ops")
+	wrs := tg.Series("wrs")
+	casf := tg.Series("cas-failed")
+	owrMax := tg.Series("owr-max")
+	owrMean := tg.SeriesDef("owr-mean", "", 2)
+	latP50 := tg.SeriesDef("lat-p50-us", "us", 1)
+	latP99 := tg.SeriesDef("lat-p99-us", "us", 1)
+	now := rt.eng.Now()
+	for _, t := range rt.threads {
+		x := float64(t.ID)
+		ops.Record(x, float64(t.Stats.Ops))
+		wrs.Record(x, float64(t.Stats.WRs))
+		casf.Record(x, float64(t.Stats.CASFailed))
+		owrMax.Record(x, float64(t.owrMax))
+		if now > 0 {
+			t.noteOWR(0) // flush the gauge integral up to now
+			owrMean.Record(x, float64(t.owrArea)/float64(now))
+		}
+		// Latency percentiles only exist for threads that completed
+		// operations; zero-op threads stay absent rather than
+		// reporting a fake 0 latency.
+		if s := t.lat.Summary(); s.Count > 0 {
+			latP50.Record(x, float64(s.P50)/1000)
+			latP99.Record(x, float64(s.P99)/1000)
+		}
+	}
+
+	// WQE postings per unique QP, in thread-major/blade-minor
+	// first-seen order. Shared policies alias QPs across threads, so
+	// dedup by identity; the map is lookup-only.
+	qg := reg.Group(pre+"qps", "Work requests posted per queue pair", "qp")
+	posted := qg.Series("posted")
+	seen := make(map[*verbs.QP]bool)
+	qi := 0
+	for _, t := range rt.threads {
+		for _, qp := range t.qps {
+			if seen[qp] {
+				continue
+			}
+			seen[qp] = true
+			posted.Record(float64(qi), float64(qp.Posted))
+			qi++
+		}
+	}
+
+	// Framework totals.
+	s := rt.TotalStats()
+	reg.Counter(pre + "core/ops").Set(s.Ops)
+	reg.Counter(pre + "core/wrs").Set(s.WRs)
+	reg.Counter(pre + "core/cas-total").Set(s.CASTotal)
+	reg.Counter(pre + "core/cas-failed").Set(s.CASFailed)
+}

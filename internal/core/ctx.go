@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/blade"
 	"repro/internal/sim"
 	"repro/internal/verbs"
@@ -21,6 +23,7 @@ type Ctx struct {
 	syncing bool
 
 	inOp        bool
+	opStart     sim.Time // BeginOp timestamp, for the latency histogram
 	opRetries   int
 	casAttempts int // consecutive failed CAS, drives the backoff exponent
 }
@@ -78,6 +81,7 @@ func (c *Ctx) PostSend() {
 		}
 		qp := t.qps[t.rt.bladeIndex(wr.Remote.Blade)]
 		qp.PostSend(c.proc, wr)
+		t.noteOWR(1)
 	}
 }
 
@@ -88,6 +92,7 @@ func (c *Ctx) onComplete(*verbs.WR) {
 	t := c.T
 	t.wrCompleted++
 	t.Stats.WRs++
+	t.noteOWR(-1)
 	if t.credits != nil {
 		t.credits.Release(1)
 	}
@@ -140,6 +145,10 @@ func (c *Ctx) CASSync(addr blade.Addr, compare, swap uint64) (old uint64, swappe
 	if c.inOp {
 		c.opRetries++
 	}
+	if t.tel.Tracing() {
+		t.tel.Emit(t.rt.eng.Now(), "cas-retry",
+			fmt.Sprintf("t%d blade=%d off=%d attempt=%d", t.ID, addr.Blade, addr.Offset, c.casAttempts+1))
+	}
 	return wr.Result, false
 }
 
@@ -173,6 +182,10 @@ func (c *Ctx) BackoffCASSync(addr blade.Addr, compare, swap uint64) (old uint64,
 		}
 		d += sim.Time(t.rt.eng.Rand().Int63n(int64(t0)))
 		c.casAttempts++
+		if t.tel.Tracing() {
+			t.tel.Emit(t.rt.eng.Now(), "backoff",
+				fmt.Sprintf("t%d sleep=%s tmax=%s", t.ID, d, t.tmax))
+		}
 		// A backing-off coroutine is not executing: it returns its
 		// operation credit for the duration of the delay so the
 		// thread's other coroutines can run conflict-free operations,
@@ -200,6 +213,7 @@ func (c *Ctx) BeginOp() {
 		c.T.coroCredits.Acquire(c.proc, 1)
 	}
 	c.inOp = true
+	c.opStart = c.T.rt.eng.Now()
 	c.opRetries = 0
 	c.casAttempts = 0
 }
@@ -208,11 +222,17 @@ func (c *Ctx) BeginOp() {
 // and returning how many unsuccessful CAS retries the operation
 // performed.
 func (c *Ctx) EndOp() (retries int) {
-	if c.T.coroCredits != nil {
-		c.T.coroCredits.Release(1)
+	t := c.T
+	if t.coroCredits != nil {
+		t.coroCredits.Release(1)
 	}
 	c.inOp = false
-	c.T.Stats.Ops++
-	c.T.winOps++
+	t.Stats.Ops++
+	t.winOps++
+	t.lat.Add(t.rt.eng.Now() - c.opStart)
+	if t.tel.Tracing() {
+		t.tel.Emit(t.rt.eng.Now(), "op-end",
+			fmt.Sprintf("t%d lat=%s retries=%d", t.ID, t.rt.eng.Now()-c.opStart, c.opRetries))
+	}
 	return c.opRetries
 }

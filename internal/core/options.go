@@ -22,7 +22,10 @@
 // one code path and differ only in Options.
 package core
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
 
 // Policy selects how queue pairs (and implicitly doorbell registers)
 // are allocated to threads — the four §3.1 contenders plus the
@@ -94,6 +97,19 @@ type Options struct {
 	RetryWindow  sim.Time // γ sampling period (default 1 ms)
 	GammaHigh    float64  // γ_H (default 0.5)
 	GammaLow     float64  // γ_L (default 0.1)
+
+	// --- Telemetry (software Neo-Host) ---
+
+	// Telemetry, when set, receives live controller trajectories
+	// (C_max, t_max, c_max, γ per thread) and trace events as the run
+	// executes, and is the registry Runtime.Collect harvests layer
+	// counters into afterwards. nil disables all instrumentation.
+	Telemetry *telemetry.Registry
+
+	// TelemetryPrefix namespaces this runtime's counter and group names
+	// (e.g. "b0/") when several runtimes share one registry, as the
+	// hash-table experiments' multi-blade setups do.
+	TelemetryPrefix string
 }
 
 // Baseline returns options for a pure QP-allocation baseline with all

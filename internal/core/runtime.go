@@ -17,6 +17,7 @@ type Runtime struct {
 	targets []verbs.Target
 	opts    Options
 	threads []*Thread
+	ctxs    []*verbs.Context // device contexts, in creation order
 	stopped bool
 }
 
@@ -39,7 +40,7 @@ func New(nic *rnic.RNIC, targets []verbs.Target, nThreads int, opts Options) (*R
 
 	switch opts.Policy {
 	case SharedQP:
-		ctx := verbs.Open(nic)
+		ctx := rt.open()
 		cq := ctx.CreateCQ()
 		qps := make([]*verbs.QP, len(targets))
 		for j, tgt := range targets {
@@ -50,7 +51,7 @@ func New(nic *rnic.RNIC, targets []verbs.Target, nThreads int, opts Options) (*R
 		}
 
 	case MultiplexedQP:
-		ctx := verbs.Open(nic)
+		ctx := rt.open()
 		for g := 0; g < nThreads; g += opts.MultiplexQ {
 			cq := ctx.CreateCQ()
 			qps := make([]*verbs.QP, len(targets))
@@ -66,7 +67,7 @@ func New(nic *rnic.RNIC, targets []verbs.Target, nThreads int, opts Options) (*R
 		// One shared context with the driver's default doorbells; each
 		// thread creates its own CQ and QPs, in thread order, so the
 		// round-robin mapping implicitly shares doorbells (§3.1).
-		ctx := verbs.Open(nic)
+		ctx := rt.open()
 		for _, t := range rt.threads {
 			t.cq = ctx.CreateCQ()
 			t.qps = make([]*verbs.QP, len(targets))
@@ -79,7 +80,7 @@ func New(nic *rnic.RNIC, targets []verbs.Target, nThreads int, opts Options) (*R
 		// A private device context per thread avoids doorbell sharing
 		// but multiplies memory registrations (MTT/MPT pressure).
 		for _, t := range rt.threads {
-			ctx := verbs.Open(nic)
+			ctx := rt.open()
 			t.cq = ctx.CreateCQ()
 			t.qps = make([]*verbs.QP, len(targets))
 			for j, tgt := range targets {
@@ -94,7 +95,7 @@ func New(nic *rnic.RNIC, targets []verbs.Target, nThreads int, opts Options) (*R
 		// created in blade-major rounds so the deterministic
 		// round-robin assignment lands every one of thread i's QPs on
 		// doorbell i.
-		ctx := verbs.Open(nic)
+		ctx := rt.open()
 		dbs := nThreads
 		if dbs < nic.P.DefaultMediumDBs {
 			dbs = nic.P.DefaultMediumDBs
@@ -124,6 +125,17 @@ func New(nic *rnic.RNIC, targets []verbs.Target, nThreads int, opts Options) (*R
 	}
 	return rt, nil
 }
+
+// open opens a device context on the card and records it for
+// telemetry harvesting (Collect walks every context's doorbells).
+func (rt *Runtime) open() *verbs.Context {
+	ctx := verbs.Open(rt.nic)
+	rt.ctxs = append(rt.ctxs, ctx)
+	return ctx
+}
+
+// Contexts returns the runtime's device contexts in creation order.
+func (rt *Runtime) Contexts() []*verbs.Context { return rt.ctxs }
 
 // MustNew is New that panics on error, for benchmarks and examples.
 func MustNew(nic *rnic.RNIC, targets []verbs.Target, nThreads int, opts Options) *Runtime {

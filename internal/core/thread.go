@@ -4,8 +4,15 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/verbs"
 )
+
+// telTrajectoryThreads caps how many threads record per-thread
+// controller trajectories: enough to see divergence between threads
+// without bloating the telemetry document at 96 threads.
+const telTrajectoryThreads = 8
 
 // ThreadStats are lifetime counters a thread accumulates.
 type ThreadStats struct {
@@ -40,11 +47,24 @@ type Thread struct {
 	winOps      uint64 // operations completed in the current γ window
 	winRetries  uint64 // unsuccessful CAS attempts in the window
 
+	// Telemetry (software Neo-Host). lat is always allocated — it is
+	// cheap and lets the zero-op edge case export a well-defined empty
+	// summary. The outstanding-WR gauge integrates occupancy over time
+	// (owrArea, in WR·ns) so Collect can report the mean OWR depth.
+	lat     *stats.Hist
+	owr     int      // outstanding WRs right now
+	owrMax  int      // high-water mark
+	owrAt   sim.Time // last time owr changed
+	owrArea int64    // ∫ owr dt, WR·ns
+
+	tel                             *telemetry.Registry // nil when not instrumented
+	sCMax, sTMax, sCMaxCoro, sGamma *telemetry.Series   // trajectory series (nil past the cap)
+
 	Stats ThreadStats
 }
 
 func newThread(rt *Runtime, id int) *Thread {
-	t := &Thread{rt: rt, ID: id}
+	t := &Thread{rt: rt, ID: id, lat: stats.NewHist()}
 	o := &rt.opts
 	if o.WorkReqThrottle {
 		t.cmax = o.CMax
@@ -59,8 +79,53 @@ func newThread(rt *Runtime, id int) *Thread {
 	} else {
 		t.tmax = o.StaticLimit
 	}
+	t.tel = o.Telemetry
+	if t.tel != nil && id < telTrajectoryThreads {
+		t.initTrajectories()
+	}
 	return t
 }
+
+// initTrajectories registers this thread's controller trajectory
+// series and records each knob's initial value at virtual time zero,
+// so the §4.2/§4.3 tables are never empty even when a controller
+// holds steady for the whole run.
+func (t *Thread) initTrajectories() {
+	o := &t.rt.opts
+	pre := o.TelemetryPrefix
+	name := fmt.Sprintf("t%d", t.ID)
+	if o.WorkReqThrottle && *o.AdaptCMax {
+		g := t.tel.Group(pre+"cmax-trajectory",
+			"C_max ceiling per epoch (Algorithm 1)", "time")
+		g.XUnit = "us"
+		t.sCMax = g.Series(name)
+		t.sCMax.Record(0, float64(t.cmax))
+	}
+	if o.DynamicLimit {
+		g := t.tel.Group(pre+"tmax-trajectory",
+			"Backoff ceiling t_max over time (§4.3)", "time")
+		g.XUnit, g.YUnit = "us", "us"
+		t.sTMax = g.SeriesDef(name, "", 2)
+		t.sTMax.Record(0, float64(t.tmax)/1000)
+	}
+	if o.CoroThrottle {
+		g := t.tel.Group(pre+"cmax-coro-trajectory",
+			"Coroutine credit ceiling c_max over time (§4.3)", "time")
+		g.XUnit = "us"
+		t.sCMaxCoro = g.Series(name)
+		t.sCMaxCoro.Record(0, float64(t.cmaxCoro))
+	}
+	if o.DynamicLimit || o.CoroThrottle {
+		g := t.tel.Group(pre+"gamma",
+			"Observed CAS retry rate γ per window (§4.3)", "time")
+		g.XUnit = "us"
+		t.sGamma = g.SeriesDef(name, "", 3)
+	}
+}
+
+// usNow returns the current virtual time in microseconds, the shared x
+// axis of the trajectory series.
+func (t *Thread) usNow() float64 { return float64(t.rt.eng.Now()) / 1000 }
 
 // start launches the thread's housekeeping processes.
 func (t *Thread) start() {
@@ -124,6 +189,13 @@ func (t *Thread) cmaxTuner(p *sim.Proc) {
 			}
 		}
 		t.updateCMax(best)
+		if t.sCMax != nil {
+			t.sCMax.Record(t.usNow(), float64(best))
+		}
+		if t.tel.Tracing() {
+			t.tel.Emit(t.rt.eng.Now(), "cmax-adopt",
+				fmt.Sprintf("t%d C_max=%d (best epoch throughput %d WRs)", t.ID, best, bestP))
+		}
 		p.Sleep(sim.Time(o.StableEpochs) * o.UpdateDelta)
 	}
 }
@@ -141,6 +213,14 @@ func (t *Thread) retryTicker(p *sim.Proc) {
 			continue
 		}
 		gamma := float64(retries) / float64(ops)
+		if t.sGamma != nil {
+			t.sGamma.Record(t.usNow(), gamma)
+		}
+		if t.tel.Tracing() {
+			t.tel.Emit(t.rt.eng.Now(), "gamma-sample",
+				fmt.Sprintf("t%d gamma=%.3f (%d retries / %d ops)", t.ID, gamma, retries, ops))
+		}
+		before, beforeCoro := t.tmax, t.cmaxCoro
 		switch {
 		case gamma > o.GammaHigh:
 			if o.CoroThrottle && t.cmaxCoro > 1 {
@@ -161,8 +241,33 @@ func (t *Thread) retryTicker(p *sim.Proc) {
 				}
 			}
 		}
+		if t.sTMax != nil && t.tmax != before {
+			t.sTMax.Record(t.usNow(), float64(t.tmax)/1000)
+		}
+		if t.sCMaxCoro != nil && t.cmaxCoro != beforeCoro {
+			t.sCMaxCoro.Record(t.usNow(), float64(t.cmaxCoro))
+		}
 	}
 }
+
+// noteOWR adjusts the outstanding-WR gauge, integrating the previous
+// level over the time it held. Runs in engine context (PostSend and
+// completion callbacks), so the thread's coroutines never race on it.
+func (t *Thread) noteOWR(delta int) {
+	now := t.rt.eng.Now()
+	t.owrArea += int64(t.owr) * int64(now-t.owrAt)
+	t.owrAt = now
+	t.owr += delta
+	if t.owr > t.owrMax {
+		t.owrMax = t.owr
+	}
+}
+
+// LatHist returns the thread's per-operation latency histogram.
+func (t *Thread) LatHist() *stats.Hist { return t.lat }
+
+// OWRMax returns the high-water mark of outstanding work requests.
+func (t *Thread) OWRMax() int { return t.owrMax }
 
 func (t *Thread) setCMaxCoro(n int) {
 	if n < 1 {

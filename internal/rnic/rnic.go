@@ -51,6 +51,11 @@ type Counters struct {
 	AtomicOps  uint64
 	BytesOnOut uint64
 	BytesOnIn  uint64
+
+	// ByKind splits Completed by verb, indexed by OpKind
+	// (READ/WRITE/CAS/FAA) — the per-verb view Neo-Host exposes as
+	// rx/tx verb counters.
+	ByKind [4]uint64
 }
 
 // RNIC models one network card: the requester pipeline of its host
@@ -233,6 +238,7 @@ func (r *RNIC) complete(op *Op) {
 		deliver := func() {
 			r.outstanding--
 			r.C.Completed++
+			r.C.ByKind[op.Kind]++
 			r.C.DMABytes += uint64(dma)
 			if op.Complete != nil {
 				op.Complete()

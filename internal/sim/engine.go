@@ -80,6 +80,8 @@ type Engine struct {
 	stopped bool
 	procs   int     // live (started, not finished) processes, for diagnostics
 	live    []*Proc // every process ever spawned; Stop unwinds the parked ones
+	parks   uint64  // times any process handed the baton back (park)
+	wakes   uint64  // times any process was resumed (activate)
 }
 
 // New returns an engine whose clock starts at zero and whose random
@@ -102,6 +104,15 @@ func (e *Engine) Procs() int { return e.procs }
 
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return len(e.heap) }
+
+// Parks reports how many times any process parked (handed the baton
+// back to the engine) over the engine's lifetime. Telemetry reads it
+// as a scheduler-pressure signal.
+func (e *Engine) Parks() uint64 { return e.parks }
+
+// Wakes reports how many times any process was activated. Paired with
+// Parks it bounds how much baton traffic a configuration generates.
+func (e *Engine) Wakes() uint64 { return e.wakes }
 
 // Schedule queues fn to run after delay. A negative delay is treated
 // as zero. Must be called from engine context.

@@ -98,6 +98,7 @@ func (p *Proc) activate() {
 	if p.done {
 		return // spurious wake after the process finished
 	}
+	p.eng.wakes++
 	p.resume <- struct{}{}
 	<-p.yield
 }
@@ -117,6 +118,9 @@ func (p *Proc) block() {
 // activation (event or queue signal) before the park, or must do so
 // from engine context later.
 func (p *Proc) park() {
+	// Safe without a lock: the counter write happens strictly before
+	// the yield-send, which is the baton pass back to the engine.
+	p.eng.parks++
 	p.yield <- struct{}{}
 	p.block()
 }

@@ -1,0 +1,202 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/result"
+	"repro/internal/sim"
+)
+
+func TestCounterRegistrationOrder(t *testing.T) {
+	r := New()
+	r.Counter("b").Add(2)
+	r.Counter("a").Inc()
+	r.Counter("b").Inc() // same handle, not a new registration
+
+	if got := r.Value("b"); got != 3 {
+		t.Errorf("Value(b) = %d, want 3", got)
+	}
+	if got := r.Value("a"); got != 1 {
+		t.Errorf("Value(a) = %d, want 1", got)
+	}
+	if got := r.Value("missing"); got != 0 {
+		t.Errorf("Value(missing) = %d, want 0", got)
+	}
+
+	tabs := r.Tables("")
+	if len(tabs) != 1 {
+		t.Fatalf("Tables: got %d tables, want 1", len(tabs))
+	}
+	ct := tabs[0]
+	if ct.ID != "counters" {
+		t.Errorf("counters table ID = %q", ct.ID)
+	}
+	pts := ct.Points("value")
+	if len(pts) != 2 {
+		t.Fatalf("counters rows = %d, want 2", len(pts))
+	}
+	// Registration order, not alphabetical: b was registered first.
+	if pts[0].Label != "b" || pts[0].Value != 3 {
+		t.Errorf("row 0 = %q/%v, want b/3", pts[0].Label, pts[0].Value)
+	}
+	if pts[1].Label != "a" || pts[1].Value != 1 {
+		t.Errorf("row 1 = %q/%v, want a/1", pts[1].Label, pts[1].Value)
+	}
+}
+
+func TestCounterSetIdempotent(t *testing.T) {
+	r := New()
+	c := r.Counter("engine/parks")
+	c.Set(10)
+	c.Set(10) // double harvest must not double-count
+	if c.Value() != 10 {
+		t.Errorf("after two Set(10): %d", c.Value())
+	}
+}
+
+func TestGroupSeriesAndTables(t *testing.T) {
+	r := New()
+	g := r.Group("cmax", "C_max trajectory", "time")
+	g.XUnit, g.YUnit = "us", ""
+	g.SeriesDef("t0", "", 0).Record(0, 8)
+	g.Series("t0").Record(400, 6)
+	g.Series("t1").Record(0, 8)
+
+	if g.Series("t0").Len() != 2 {
+		t.Errorf("t0 len = %d, want 2", g.Series("t0").Len())
+	}
+	if got := g.Sum("t0"); got != 14 {
+		t.Errorf("Sum(t0) = %v, want 14", got)
+	}
+	if got := g.Sum("nope"); got != 0 {
+		t.Errorf("Sum(nope) = %v, want 0", got)
+	}
+	if r.FindGroup("cmax") != g {
+		t.Error("FindGroup did not return the registered group")
+	}
+	if r.FindGroup("nope") != nil {
+		t.Error("FindGroup(nope) != nil")
+	}
+
+	tabs := r.Tables("fig13")
+	if len(tabs) != 1 {
+		t.Fatalf("Tables: got %d, want 1 (no counters registered)", len(tabs))
+	}
+	tab := tabs[0]
+	if tab.ID != "fig13-cmax" {
+		t.Errorf("group table ID = %q, want fig13-cmax", tab.ID)
+	}
+	if tab.XUnit != "us" {
+		t.Errorf("XUnit = %q", tab.XUnit)
+	}
+	p := tab.Points("t0")
+	if len(p) != 2 || p[1].X != 400 || p[1].Value != 6 {
+		t.Errorf("t0 points = %+v", p)
+	}
+}
+
+// TestTablesDeterministic builds the same registry twice through
+// different call sequences that register in the same order, and
+// requires byte-identical rendering — the property the CI
+// determinism job enforces end to end.
+func TestTablesDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := New()
+		r.Counter("db/rings-total").Add(7)
+		r.Counter("nic/completed").Add(41)
+		g := r.Group("gamma", "Retry rate", "window")
+		g.SeriesDef("gamma", "", 3).Record(1, 0.25)
+		g.SeriesDef("gamma", "", 3).Record(2, 0.5)
+		return r
+	}
+	render := func(r *Registry) []byte {
+		doc := &result.Document{Generator: "test", Experiments: []result.Experiment{
+			{ID: "x", Title: "x", Tables: r.Tables("x")},
+		}}
+		var buf bytes.Buffer
+		if err := result.JSON(&buf, doc); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(build()), render(build())
+	if !bytes.Equal(a, b) {
+		t.Errorf("same registry rendered differently:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	tr := NewTrace(3)
+	if tr.Cap() != 3 {
+		t.Fatalf("Cap = %d", tr.Cap())
+	}
+	tr.Emit(1*sim.Nanosecond, "a", "")
+	tr.Emit(2*sim.Nanosecond, "b", "x")
+	got := tr.Events()
+	if len(got) != 2 || got[0].Kind != "a" || got[1].Kind != "b" {
+		t.Fatalf("partial ring events = %+v", got)
+	}
+
+	tr.Emit(3*sim.Nanosecond, "c", "")
+	tr.Emit(4*sim.Nanosecond, "d", "") // evicts a
+	tr.Emit(5*sim.Nanosecond, "e", "") // evicts b
+	got = tr.Events()
+	if len(got) != 3 {
+		t.Fatalf("full ring len = %d, want 3", len(got))
+	}
+	if got[0].Kind != "c" || got[1].Kind != "d" || got[2].Kind != "e" {
+		t.Errorf("ring order wrong: %+v", got)
+	}
+	if got[0].At != 3 || got[2].At != 5 {
+		t.Errorf("timestamps wrong: %+v", got)
+	}
+	if tr.Total() != 5 {
+		t.Errorf("Total = %d, want 5", tr.Total())
+	}
+
+	var buf bytes.Buffer
+	tr.Write(&buf)
+	out := buf.String()
+	if want := "trace: 5 events emitted, last 3 retained\n"; !bytes.HasPrefix(buf.Bytes(), []byte(want)) {
+		t.Errorf("Write header wrong:\n%s", out)
+	}
+}
+
+func TestTraceMinCapacity(t *testing.T) {
+	tr := NewTrace(0)
+	if tr.Cap() != 1 {
+		t.Errorf("Cap = %d, want clamped to 1", tr.Cap())
+	}
+	tr.Emit(1*sim.Nanosecond, "a", "")
+	tr.Emit(2*sim.Nanosecond, "b", "")
+	got := tr.Events()
+	if len(got) != 1 || got[0].Kind != "b" {
+		t.Errorf("events = %+v, want just b", got)
+	}
+}
+
+func TestNilRegistrySafety(t *testing.T) {
+	var r *Registry
+	if r.Tracing() {
+		t.Error("nil registry reports Tracing")
+	}
+	r.Emit(1*sim.Nanosecond, "a", "") // must not panic
+	if r.Trace() != nil {
+		t.Error("nil registry has a trace")
+	}
+
+	r2 := New()
+	if r2.Tracing() {
+		t.Error("fresh registry reports Tracing")
+	}
+	r2.Emit(1*sim.Nanosecond, "a", "") // dropped, no panic
+	tr := r2.EnableTrace(4)
+	if !r2.Tracing() || r2.Trace() != tr {
+		t.Error("EnableTrace did not attach")
+	}
+	r2.Emit(2*sim.Nanosecond, "b", "")
+	if tr.Total() != 1 {
+		t.Errorf("Total = %d, want 1 (pre-enable emit dropped)", tr.Total())
+	}
+}

@@ -43,6 +43,11 @@ type Doorbell struct {
 	p     *rnic.Params
 
 	Rings uint64
+
+	// HoldTicks accumulates virtual time spent holding the spinlock
+	// across all rings — the Neo-Host-style signal that separates "many
+	// rings" from "many slow rings" (waiter-inflated holds, §3.1).
+	HoldTicks sim.Time
 }
 
 // Ring posts one work request's doorbell update: it takes the
@@ -54,12 +59,19 @@ func (d *Doorbell) Ring(p *sim.Proc) {
 	hold := d.p.DBHold + sim.Time(waiters)*d.p.DBBouncePerWaiter
 	p.Sleep(hold)
 	d.Rings++
+	d.HoldTicks += hold
 	d.mu.Unlock()
 }
 
 // Waiters reports the number of threads currently queued on the
 // doorbell spinlock (diagnostic).
 func (d *Doorbell) Waiters() int { return d.mu.Waiters() }
+
+// Acquisitions reports total takes of the doorbell spinlock.
+func (d *Doorbell) Acquisitions() uint64 { return d.mu.Acquisitions }
+
+// Contended reports how many of those takes had to queue first.
+func (d *Doorbell) Contended() uint64 { return d.mu.Contended }
 
 // Context is an open device context. Doorbell registers belong to the
 // context; queue pairs created on the context are bound to its
@@ -104,6 +116,10 @@ func (c *Context) SetMediumDoorbells(n int) error {
 
 // MediumDoorbells returns the number of medium-latency doorbells.
 func (c *Context) MediumDoorbells() int { return len(c.medium) }
+
+// Doorbells returns the context's medium-latency doorbell registers in
+// index order, for telemetry harvesting.
+func (c *Context) Doorbells() []*Doorbell { return c.medium }
 
 // NextDoorbell returns the index of the doorbell the next created QP
 // will be bound to. The mapping is not controllable through the API —
