@@ -1,0 +1,61 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// FuzzFaultPlanParse holds the -faults parser to its contract: any
+// input either yields a validated plan or a descriptive error — never
+// a panic, and never a plan that fails its own re-validation. CI runs
+// it with a short -fuzztime budget on every push.
+func FuzzFaultPlanParse(f *testing.F) {
+	for _, spec := range []string{
+		"default",
+		"delay@1ms-2ms",
+		"fail@2ms-4ms:kind=cas+faa,p=0.7,status=remote-access",
+		"fail@0ns-1us:status=retry-exceeded",
+		"drop@500us-900us:kind=read,drops=3,p=0.25",
+		"blackhole@3600us-4ms:kind=read+write,p=0.15",
+		"delay@2ms-3ms:x=6,kind=read+write;drop@3ms-3600us:drops=2,p=0.6",
+		"",
+		" ; ",
+		"fail",
+		"fail@",
+		"fail@-",
+		"@1ms-2ms",
+		"delay@1ms-2ms:",
+		"delay@1ms-2ms:p=",
+		"delay@1ms-2ms:kind=",
+		"delay@1ms-2ms:x=NaN",
+		"delay@1ms-2ms:x=1e308",
+		"drop@1ms-2ms:drops=-1",
+		"delay@9999999999999999999ms-2ms",
+		"delay@1ms-99999999s",
+		"delay@1ms-2ms;delay@1ms-2ms",
+	} {
+		f.Add(spec)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := fault.Parse(spec)
+		if err != nil {
+			if p != nil {
+				t.Fatalf("Parse(%q) returned both a plan and error %v", spec, err)
+			}
+			return
+		}
+		if p == nil {
+			t.Fatalf("Parse(%q) returned neither plan nor error", spec)
+		}
+		// Whatever Parse accepts must survive re-validation: the rules
+		// it hands the injector cannot be ones NewPlan would reject.
+		if _, err := fault.NewPlan(p.Rules()); err != nil {
+			t.Fatalf("Parse(%q) produced a plan NewPlan rejects: %v", spec, err)
+		}
+		start, end := p.Envelope()
+		if start < 0 || end <= start {
+			t.Fatalf("Parse(%q) produced an empty or negative envelope [%v, %v)", spec, start, end)
+		}
+	})
+}

@@ -11,6 +11,8 @@
 //	smartbench -exp fig3 -quick \
 //	    -telemetry telem.json              # + instrumented run, counters to file
 //	smartbench -exp fig13 -quick -trace 64 # dump the last 64 telemetry events
+//	smartbench -exp chaos -quick -check \
+//	    -faults default -seed 7            # fault injection + recovery gate
 //
 // -telemetry additionally runs the instrumented (software Neo-Host)
 // variant of each selected experiment that has one and writes the
@@ -19,9 +21,17 @@
 // single instrumented run and dumps them, sim-time-stamped, to the
 // progress stream.
 //
+// -faults installs a fault plan on the chaos experiment's RNIC:
+// "default" for the built-in plan, or a rule spec like
+// "delay@2ms-3ms:x=6;fail@3ms-4ms:kind=cas,p=0.7" (grammar in
+// internal/fault). The chaos shape checks are calibrated against the
+// default plan; custom plans run fine but may legitimately fail
+// -check.
+//
 // Exit status: 0 on success, 1 when -check finds shape violations,
 // 2 on usage errors (no -exp, unknown ID, bad flag values, -telemetry
-// or -trace with no instrumented experiment selected).
+// or -trace with no instrumented experiment selected, -faults with a
+// malformed spec or without the chaos experiment selected).
 package main
 
 import (
@@ -33,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/fault"
 	"repro/internal/result"
 )
 
@@ -53,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed   = fs.Int64("seed", 0, "offset every experiment's built-in seeds (0 = published numbers)")
 		telem  = fs.String("telemetry", "", "also run instrumented variants; write their counters as JSON to this file")
 		trace  = fs.Int("trace", 0, "keep the last N telemetry events of one instrumented run and dump them")
+		faults = fs.String("faults", "", "fault plan for the chaos experiment: 'default' or a rule spec (see internal/fault)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -113,6 +125,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "smartbench: -telemetry needs an instrumented experiment; have: %s\n",
 			strings.Join(bench.TelemetryExperiments(), ", "))
 		return 2
+	}
+	if *faults != "" {
+		plan, err := fault.Parse(*faults)
+		if err != nil {
+			fmt.Fprintf(stderr, "smartbench: -faults: %v\n", err)
+			return 2
+		}
+		chaosSelected := false
+		for _, e := range selected {
+			if e.ID == "chaos" {
+				chaosSelected = true
+			}
+		}
+		if !chaosSelected {
+			fmt.Fprintln(stderr, "smartbench: -faults only applies to the chaos experiment; add chaos to -exp")
+			return 2
+		}
+		bench.SetChaosFaults(plan)
+		defer bench.SetChaosFaults(nil)
 	}
 	if *trace > 0 && instrumented != 1 {
 		fmt.Fprintf(stderr, "smartbench: -trace follows a single instrumented run; select exactly one of: %s\n",
@@ -229,6 +260,8 @@ func printList(w io.Writer) {
 	fmt.Fprintln(w, "\n'*' marks experiments with an instrumented (software Neo-Host)")
 	fmt.Fprintln(w, "variant: add -telemetry <file.json> to harvest its counters and")
 	fmt.Fprintln(w, "controller trajectories, and -trace <N> to dump its last N events.")
+	fmt.Fprintln(w, "The chaos experiment accepts -faults <spec> ('default' or a rule")
+	fmt.Fprintln(w, "spec; see internal/fault) to choose the injected fault plan.")
 }
 
 // nearestID returns the registered experiment ID with the smallest

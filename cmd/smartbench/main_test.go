@@ -30,6 +30,9 @@ func TestUsageErrorsExit2(t *testing.T) {
 		{"trace without instrumented run", []string{"-exp", "fig4", "-trace", "16"}, "exactly one of"},
 		{"trace across two instrumented runs", []string{"-exp", "fig3,fig13", "-trace", "16"}, "exactly one of"},
 		{"telemetry without instrumented run", []string{"-exp", "fig4", "-telemetry", "t.json"}, "needs an instrumented experiment"},
+		{"malformed faults spec", []string{"-exp", "chaos", "-faults", "explode@1ms-2ms"}, "unknown action"},
+		{"faults spec without window", []string{"-exp", "chaos", "-faults", "delay"}, "missing '@window'"},
+		{"faults without chaos selected", []string{"-exp", "fig4", "-faults", "default"}, "only applies to the chaos experiment"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -130,5 +133,49 @@ func TestTelemetryRunEndToEnd(t *testing.T) {
 	}
 	if rdoc.Generator != "smartbench" {
 		t.Errorf("results generator = %q, want smartbench", rdoc.Generator)
+	}
+}
+
+// TestChaosRunEndToEnd is the CI chaos-quick job in miniature: the
+// chaos experiment under the default fault plan must pass its own
+// recovery shape checks and emit the recovery and fault-counter tables.
+func TestChaosRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the real chaos experiment")
+	}
+	out := filepath.Join(t.TempDir(), "chaos.json")
+	code, stdout, stderr := runCLI(
+		"-exp", "chaos", "-quick", "-check", "-faults", "default",
+		"-format", "json", "-out", out)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr:\n%s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("-out set but stdout not empty:\n%s", stdout)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	doc, err := result.ParseJSON(f)
+	if err != nil {
+		t.Fatalf("chaos output is not valid JSON: %v", err)
+	}
+	if len(doc.Experiments) != 1 || doc.Experiments[0].ID != "chaos" {
+		t.Fatalf("experiments = %+v, want one chaos entry", doc.Experiments)
+	}
+	tables := doc.Experiments[0].Tables
+	for _, id := range []string{"chaos-recovery", "chaos-throughput", "counters", "storm/gamma", "storm/tmax-trajectory"} {
+		if result.Find(tables, id) == nil {
+			t.Errorf("chaos document missing table %q", id)
+		}
+	}
+	counters := result.Find(tables, "counters")
+	if counters == nil {
+		t.Fatal("no counters table")
+	}
+	if v, ok := counters.GetLabel("value", "fault/injected"); !ok || v == 0 {
+		t.Errorf("fault/injected = %g (ok=%v), want nonzero", v, ok)
 	}
 }

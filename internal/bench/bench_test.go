@@ -16,13 +16,15 @@ func TestRegistryComplete(t *testing.T) {
 	paper := []string{"fig3", "fig4", "fig5", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "tab1"}
 	ablations := []string{"abl-db", "abl-wqe", "abl-gamma", "abl-t0", "abl-spec", "abl-payload"}
-	for _, id := range append(append([]string{}, paper...), ablations...) {
+	extras := []string{"chaos"}
+	all := append(append(append([]string{}, paper...), ablations...), extras...)
+	for _, id := range all {
 		if ByID(id) == nil {
 			t.Errorf("experiment %q not registered", id)
 		}
 	}
-	if got := len(All()); got != len(paper)+len(ablations) {
-		t.Errorf("registry has %d experiments, want %d", got, len(paper)+len(ablations))
+	if got := len(All()); got != len(all) {
+		t.Errorf("registry has %d experiments, want %d", got, len(all))
 	}
 	if ByID("nope") != nil {
 		t.Error("unknown ID resolved")

@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/result"
+	"repro/internal/rnic"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// The chaos experiment family runs fig3/fig13-style workloads under a
+// deterministic fault plan and measures recovery: throughput must dip
+// while the fault window is open and re-converge to the fault-free
+// baseline after it closes, and the §4.3 γ controller must visibly
+// widen t_max under an injected CAS-conflict storm. Two runs share one
+// registry:
+//
+//   - a READ micro-benchmark (per-thread doorbell, watchdog + retries
+//     on) with the plan installed, next to an identically seeded
+//     fault-free twin — the source of the chaos-recovery and
+//     chaos-throughput tables;
+//   - a CAS storm (prefix "storm/") where the plan NAKs most atomics
+//     for the whole window and retries are off, so every injected
+//     failure surfaces to BackoffCASSync as a conflict and drives γ.
+
+// chaosPlan is the fault plan the chaos experiment injects; the CLI
+// overrides it via SetChaosFaults (-faults). The shape checks are
+// calibrated against fault.Default() — custom plans run fine but may
+// legitimately fail -check.
+var chaosPlan = fault.Default()
+
+// SetChaosFaults installs the plan the chaos experiment uses; nil
+// restores the default.
+func SetChaosFaults(p *fault.Plan) {
+	if p == nil {
+		p = fault.Default()
+	}
+	chaosPlan = p
+}
+
+// chaosSample is the counter-sampling period of the recovery
+// trajectories.
+const chaosSample = 250 * sim.Microsecond
+
+type chaosSamplePoint struct {
+	t         sim.Time
+	completed uint64
+}
+
+// completedAt returns the last sample at or before t.
+func completedAt(samples []chaosSamplePoint, t sim.Time) (sim.Time, uint64) {
+	var bt sim.Time
+	var bc uint64
+	for _, s := range samples {
+		if s.t > t {
+			break
+		}
+		bt, bc = s.t, s.completed
+	}
+	return bt, bc
+}
+
+// phaseRate returns MOPS (completed WRs per microsecond) over
+// [from, to], measured between the nearest sample boundaries.
+func phaseRate(samples []chaosSamplePoint, from, to sim.Time) float64 {
+	t0, c0 := completedAt(samples, from)
+	t1, c1 := completedAt(samples, to)
+	if t1 <= t0 {
+		return 0
+	}
+	return float64(c1-c0) / (float64(t1-t0) / 1e3)
+}
+
+// runChaos executes the family: the faulted READ run, its fault-free
+// twin, and the CAS storm, returning the derived tables followed by
+// the registry's export (counters incl. fault/*, storm trajectories).
+func runChaos(quick bool, seed int64, reg *telemetry.Registry) []result.Table {
+	plan := chaosPlan
+	wStart, wEnd := plan.Envelope()
+	warmup := sim.Millisecond
+	horizon := wEnd + 3*sim.Millisecond
+	if horizon < warmup+2*sim.Millisecond {
+		horizon = warmup + 2*sim.Millisecond
+	}
+
+	threads := 48
+	if quick {
+		threads = 24
+	}
+
+	run := func(inject bool, tel *telemetry.Registry) []chaosSamplePoint {
+		var samples []chaosSamplePoint
+		opts := core.Baseline(core.PerThreadDoorbell)
+		opts.WRTimeout = 300 * sim.Microsecond
+		opts.MaxWRRetries = 3
+		cfg := MicroConfig{
+			Opts: opts, Threads: threads, Batch: 8, Op: rnic.OpRead,
+			Warmup: warmup, Measure: horizon - warmup,
+			Seed: 41 + seed, Telemetry: tel,
+			SampleEvery: chaosSample,
+			OnSample: func(now sim.Time, snap rnic.Counters) {
+				samples = append(samples, chaosSamplePoint{now, snap.Completed})
+			},
+		}
+		if inject {
+			cfg.Faults = plan
+		}
+		RunMicro(cfg)
+		return samples
+	}
+
+	faulted := run(true, reg)
+	clean := run(false, nil)
+
+	traj := result.NewTable("chaos-throughput",
+		"READ throughput trajectory through the fault window", "time")
+	traj.XUnit, traj.YUnit = "us", "MOPS"
+	traj.Def("faulted", "", 2)
+	traj.Def("fault-free", "", 2)
+	addRates := func(name string, samples []chaosSamplePoint) {
+		for i := 1; i < len(samples); i++ {
+			dt := float64(samples[i].t-samples[i-1].t) / 1e3
+			if dt <= 0 {
+				continue
+			}
+			traj.Add(name, float64(samples[i].t)/1e3,
+				float64(samples[i].completed-samples[i-1].completed)/dt)
+		}
+	}
+	addRates("faulted", faulted)
+	addRates("fault-free", clean)
+
+	rec := result.NewTable("chaos-recovery",
+		"Phase throughput around the fault window", "phase")
+	rec.YUnit = "MOPS"
+	rec.Def("faulted", "", 2)
+	rec.Def("fault-free", "", 2)
+	phases := []struct {
+		label    string
+		from, to sim.Time
+	}{
+		{"baseline", warmup, wStart},
+		{"during", wStart, wEnd},
+		// Recovery is judged half a millisecond after the window closes
+		// so straggling watchdog expiries don't blur the verdict.
+		{"after", wEnd + 500*sim.Microsecond, horizon},
+	}
+	for i, ph := range phases {
+		rec.AddLabeled("faulted", float64(i), ph.label, phaseRate(faulted, ph.from, ph.to))
+		rec.AddLabeled("fault-free", float64(i), ph.label, phaseRate(clean, ph.from, ph.to))
+	}
+
+	runStorm(quick, seed, reg, plan, horizon)
+
+	tables := []result.Table{*rec, *traj}
+	return append(tables, reg.Tables("")...)
+}
+
+// stormHotSlots sizes the storm's contended region: wide enough that
+// organic CAS conflicts stay rare before the window opens, so the γ
+// spike (and the t_max response) is attributable to the injected NAKs.
+const stormHotSlots = 128
+
+// runStorm drives the CAS-conflict storm: threads increment hot
+// counters through BackoffCASSync with the full backoff stack but no
+// transparent WR retries, so every injected atomic NAK registers as a
+// failed CAS and feeds the §4.3 retry rate γ. Telemetry (γ samples,
+// the t_max trajectory, fault counters) lands in reg under "storm/".
+func runStorm(quick bool, seed int64, reg *telemetry.Registry, plan *fault.Plan, horizon sim.Time) {
+	threads := 16
+	if quick {
+		threads = 8
+	}
+	cl := cluster.New(cluster.Config{
+		ComputeBlades: 1,
+		MemoryBlades:  1,
+		BladeCapacity: 1 << 16,
+		Seed:          97 + seed,
+	})
+	defer cl.Stop()
+	nic := cl.Computes[0].NIC
+	nic.SetFault(plan)
+
+	opts := core.Options{
+		Policy:       core.PerThreadDoorbell,
+		Backoff:      true,
+		DynamicLimit: true,
+		RetryWindow:  200 * sim.Microsecond,
+		// The watchdog covers the reads (the plan blackholes READs late
+		// in its window); MaxWRRetries stays 0 so a NAKed CAS is never
+		// reposted by Sync — it surfaces to BackoffCASSync as an
+		// unsuccessful attempt and feeds γ.
+		WRTimeout:       100 * sim.Microsecond,
+		Telemetry:       reg,
+		TelemetryPrefix: "storm/",
+	}
+	rt := core.MustNew(nic, cl.Targets(), threads, opts)
+	defer rt.Stop()
+
+	region := cl.Memories[0].Mem.Alloc(8 * stormHotSlots)
+	for i := 0; i < threads; i++ {
+		th := rt.Thread(i)
+		rng := rand.New(rand.NewSource(seed + int64(i)*727 + 5))
+		th.Spawn("storm", func(c *core.Ctx) {
+			buf := make([]byte, 8)
+			for c.Now() < horizon {
+				addr := region.Add(uint64(rng.Intn(stormHotSlots)) * 8)
+				c.BeginOp()
+				// Learn the counter's current value first, so an
+				// unperturbed CAS almost always swaps on the first try
+				// and the pre-window retry rate stays low.
+				c.ReadSync(addr, buf)
+				expect := binary.LittleEndian.Uint64(buf)
+				for c.Now() < horizon {
+					old, swapped := c.BackoffCASSync(addr, expect, expect+1)
+					if swapped {
+						break
+					}
+					// An abandoned (injected) failure reports Result 0;
+					// the next organic attempt relearns the real value.
+					expect = old
+				}
+				c.EndOp()
+			}
+		})
+	}
+	cl.Eng.Run(horizon)
+	rt.Stop()
+	rt.Collect(reg)
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "chaos",
+		Title: "Recovery under injected RNIC faults (fault window + CAS storm)",
+		Run: func(quick bool, seed int64) []result.Table {
+			return runChaos(quick, seed, telemetry.New())
+		},
+	})
+	registerTelemetry("chaos", func(quick bool, seed int64, trace int) (*telemetry.Registry, []result.Table) {
+		reg := newTelemetryRegistry(trace)
+		return reg, runChaos(quick, seed, reg)
+	})
+}

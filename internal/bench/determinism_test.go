@@ -1,11 +1,14 @@
 package bench
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/result"
 	"repro/internal/rnic"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // TestMicroDeterminism is the regression test behind every number this
@@ -46,5 +49,67 @@ func TestMicroDeterminism(t *testing.T) {
 	c := RunMicro(cfg(43))
 	if a == c {
 		t.Errorf("different seeds produced identical results %+v; is Seed wired through?", a)
+	}
+}
+
+// TestChaosDeterminism extends the guarantee to the fault injector:
+// the chaos experiment — fault plan decisions, watchdog expiries,
+// Sync retries, the CAS storm, and every telemetry counter — must
+// render to byte-identical JSON when re-run with the same seed. The
+// injector draws from the engine's seeded RNG at submit time, so any
+// stray randomness or event-ordering wobble in the fault path shows up
+// here as a byte diff.
+func TestChaosDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full chaos family three times")
+	}
+	render := func(seed int64) []byte {
+		doc := &result.Document{
+			Generator: "determinism-test",
+			Quick:     true,
+			Seed:      seed,
+			Experiments: []result.Experiment{
+				{ID: "chaos", Tables: runChaos(true, seed, telemetry.New())},
+			},
+		}
+		var buf bytes.Buffer
+		if err := result.JSON(&buf, doc); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	a, b := render(7), render(7)
+	if !bytes.Equal(a, b) {
+		i := 0
+		for i < len(a) && i < len(b) && a[i] == b[i] {
+			i++
+		}
+		lo := i - 80
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("same seed, different chaos JSON at byte %d:\n  run 1: ...%s\n  run 2: ...%s",
+			i, a[lo:min(i+80, len(a))], b[lo:min(i+80, len(b))])
+	}
+
+	// The run must actually have exercised the fault machinery, or the
+	// byte equality proves nothing about it.
+	doc, err := result.ParseJSON(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters := result.Find(doc.Experiments[0].Tables, "counters")
+	if counters == nil {
+		t.Fatal("chaos run emitted no counters table")
+	}
+	for _, name := range []string{"fault/injected", "storm/fault/injected"} {
+		if v, ok := counters.GetLabel("value", name); !ok || v == 0 {
+			t.Errorf("counter %s = %g (ok=%v), want nonzero", name, v, ok)
+		}
+	}
+
+	if c := render(8); bytes.Equal(a, c) {
+		t.Error("different seeds rendered identical chaos JSON; is the seed wired through?")
 	}
 }

@@ -42,6 +42,18 @@ type MicroConfig struct {
 	// instrumentation: live controller trajectories during the run and
 	// the full layer-counter harvest afterwards.
 	Telemetry *telemetry.Registry
+
+	// Faults, when set, is installed on the compute blade's RNIC for
+	// the whole run (the chaos experiments). nil keeps the card
+	// byte-identical to the fault-free model.
+	Faults rnic.Injector
+
+	// SampleEvery and OnSample, when both set, snapshot the compute
+	// RNIC's counters every SampleEvery of virtual time — the recovery
+	// trajectories the chaos shape checks consume. The sampler only
+	// reads counters, so it cannot perturb the run.
+	SampleEvery sim.Time
+	OnSample    func(now sim.Time, snap rnic.Counters)
 }
 
 // MicroResult is one measured point.
@@ -91,6 +103,19 @@ func RunMicro(cfg MicroConfig) MicroResult {
 
 	horizon := cfg.Warmup + cfg.Measure
 	nic := cl.Computes[0].NIC
+	if cfg.Faults != nil {
+		nic.SetFault(cfg.Faults)
+	}
+	if cfg.SampleEvery > 0 && cfg.OnSample != nil {
+		var tick func()
+		tick = func() {
+			cfg.OnSample(eng.Now(), nic.Snapshot())
+			if eng.Now() < horizon {
+				eng.Schedule(cfg.SampleEvery, tick)
+			}
+		}
+		eng.Schedule(cfg.SampleEvery, tick)
+	}
 
 	// Per-thread activity gates for the dynamic workload.
 	active := make([]bool, cfg.Threads)

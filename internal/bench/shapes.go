@@ -310,6 +310,76 @@ var shapeChecks = []shapeCheck{
 		full, none := v.at("fig14a", "+CoroThrot", 96), v.at("fig14a", "w/o CA", 96)
 		return ratio("MOPS@96thr full CA vs w/o CA", full, none, 1.3)
 	}},
+
+	// Chaos — recovery under injected RNIC faults (DESIGN.md §11).
+	// These are calibrated against fault.Default(); a custom -faults
+	// plan runs fine but may legitimately fail the gate.
+	{"chaos", "chaos/throughput-dips-in-window", func(v *tv) (string, bool) {
+		// While the fault window is open the READ run must lose a large
+		// fraction of its throughput to delays, retransmits, and
+		// watchdog-covered blackholes.
+		during := v.atLabel("chaos-recovery", "faulted", "during")
+		base := v.atLabel("chaos-recovery", "faulted", "baseline")
+		return fmt.Sprintf("faulted MOPS during window %.2f vs baseline %.2f (need <= 0.6x)", during, base),
+			during <= 0.6*base
+	}},
+	{"chaos", "chaos/throughput-reconverges", func(v *tv) (string, bool) {
+		// After the window closes the faulted run must return to within
+		// a band of its identically seeded fault-free twin: recovery is
+		// complete, not merely partial.
+		after := v.atLabel("chaos-recovery", "faulted", "after")
+		clean := v.atLabel("chaos-recovery", "fault-free", "after")
+		return fmt.Sprintf("faulted MOPS after window %.2f vs fault-free %.2f (need within [0.85,1.15]x)",
+			after, clean), after >= 0.85*clean && after <= 1.15*clean
+	}},
+	{"chaos", "chaos/faults-injected-and-recovered", func(v *tv) (string, bool) {
+		// The injector must have actually fired, and the watchdog +
+		// Sync-retry path must have both expired and reposted WRs.
+		inj := v.atLabel("counters", "value", "fault/injected")
+		ret := v.atLabel("counters", "value", "fault/retries")
+		to := v.atLabel("counters", "value", "fault/timeouts")
+		return fmt.Sprintf("injected %.0f, retries %.0f, timeouts %.0f (need all > 0)", inj, ret, to),
+			inj > 0 && ret > 0 && to > 0
+	}},
+	{"chaos", "chaos/storm-gamma-spikes", func(v *tv) (string, bool) {
+		// §4.3: the injected CAS-NAK storm must drive the sampled retry
+		// rate well past the γ_H = 0.5 widening threshold.
+		peak := v.seriesMax("storm/gamma")
+		return fmt.Sprintf("peak storm gamma sample %.2f (need >= 0.5)", peak), peak >= 0.5
+	}},
+	{"chaos", "chaos/storm-tmax-widens-and-recovers", func(v *tv) (string, bool) {
+		// §4.3: t_max must stay near t0 before the default window opens
+		// at 2 ms, widen visibly under the storm, and decay back to at
+		// most half its peak once the injected conflicts stop.
+		pts := v.points("storm/tmax-trajectory", "t0")
+		if len(pts) == 0 {
+			return "", false
+		}
+		var peak float64
+		for _, p := range pts {
+			if p.X < 2000 && p.Value > 7 {
+				return fmt.Sprintf("t_max %.1fus at t=%gus, before the fault window (need <= 2x t0)",
+					p.Value, p.X), false
+			}
+			if p.Value > peak {
+				peak = p.Value
+			}
+		}
+		final := pts[len(pts)-1].Value
+		if peak < 10 {
+			return fmt.Sprintf("t_max peak %.1fus (need >= 10us widening)", peak), false
+		}
+		return fmt.Sprintf("t_max peak %.1fus, final %.1fus (need final <= 0.5x peak)", peak, final),
+			final <= 0.5*peak
+	}},
+	{"chaos", "chaos/storm-abandons-injected-cas", func(v *tv) (string, bool) {
+		// The storm runs with MaxWRRetries=0, so injected atomic NAKs
+		// must surface as abandoned WRs (the conflicts that feed γ).
+		inj := v.atLabel("counters", "value", "storm/fault/injected")
+		ab := v.atLabel("counters", "value", "storm/fault/abandoned")
+		return fmt.Sprintf("storm injected %.0f, abandoned %.0f (need both > 0)", inj, ab),
+			inj > 0 && ab > 0
+	}},
 }
 
 // telemetryShapeChecks are the predicates over the *instrumented*

@@ -19,7 +19,7 @@ func TestShapesQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real quick sweeps")
 	}
-	ids := []string{"fig4", "fig3", "fig13", "fig14"}
+	ids := []string{"fig4", "fig3", "fig13", "fig14", "chaos"}
 	if os.Getenv("SMART_SHAPES_ALL") != "" {
 		ids = append(ids, "tab1", "fig8")
 	}
@@ -41,7 +41,7 @@ func TestShapesQuick(t *testing.T) {
 func TestCheckRegistry(t *testing.T) {
 	// The required coverage: at least 10 named checks spanning the
 	// experiments EXPERIMENTS.md calls out.
-	required := []string{"fig3", "fig4", "fig8", "fig13", "tab1", "fig14"}
+	required := []string{"fig3", "fig4", "fig8", "fig13", "tab1", "fig14", "chaos"}
 	total := 0
 	seen := map[string]bool{}
 	for _, id := range required {

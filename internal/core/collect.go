@@ -126,4 +126,20 @@ func (rt *Runtime) Collect(reg *telemetry.Registry) {
 	reg.Counter(pre + "core/wrs").Set(s.WRs)
 	reg.Counter(pre + "core/cas-total").Set(s.CASTotal)
 	reg.Counter(pre + "core/cas-failed").Set(s.CASFailed)
+
+	// Fault accounting: what the injector did to the card (rnic
+	// counters) and how the framework recovered (thread stats). Only
+	// emitted when the fault machinery is in play — an injector
+	// installed or recovery engaged — so fault-free telemetry documents
+	// (and their goldens) are byte-identical to the pre-fault model.
+	if rt.nic.Fault() != nil || rt.opts.WRTimeout > 0 ||
+		c.Injected|c.Retransmits|c.Errors != 0 ||
+		s.FaultRetries|s.FaultAbandoned|s.FaultTimeouts != 0 {
+		reg.Counter(pre + "fault/injected").Set(c.Injected)
+		reg.Counter(pre + "fault/retransmits").Set(c.Retransmits)
+		reg.Counter(pre + "fault/errors").Set(c.Errors)
+		reg.Counter(pre + "fault/retries").Set(s.FaultRetries)
+		reg.Counter(pre + "fault/abandoned").Set(s.FaultAbandoned)
+		reg.Counter(pre + "fault/timeouts").Set(s.FaultTimeouts)
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/blade"
+	"repro/internal/rnic"
 	"repro/internal/sim"
 	"repro/internal/verbs"
 )
@@ -21,6 +22,7 @@ type Ctx struct {
 	buf     []*verbs.WR
 	pending int
 	syncing bool
+	failed  []*verbs.WR // error completions awaiting Sync's retry/abandon decision
 
 	inOp        bool
 	opStart     sim.Time // BeginOp timestamp, for the latency histogram
@@ -72,23 +74,34 @@ func (c *Ctx) FAA(addr blade.Addr, add uint64) *verbs.WR {
 func (c *Ctx) PostSend() {
 	wrs := c.buf
 	c.buf = nil
-	t := c.T
 	for _, wr := range wrs {
 		wr.OnComplete = c.onComplete
-		c.pending++
-		if t.credits != nil {
-			t.credits.Acquire(c.proc, 1)
-		}
-		qp := t.qps[t.rt.bladeIndex(wr.Remote.Blade)]
-		qp.PostSend(c.proc, wr)
-		t.noteOWR(1)
+		c.post(wr)
+	}
+}
+
+// post sends one WR through the throttler to the card and, when the
+// watchdog is configured, arms a timeout against exactly this attempt.
+// Shared by PostSend and Sync's transparent retry.
+func (c *Ctx) post(wr *verbs.WR) {
+	t := c.T
+	c.pending++
+	if t.credits != nil {
+		t.credits.Acquire(c.proc, 1)
+	}
+	qp := t.qps[t.rt.bladeIndex(wr.Remote.Blade)]
+	qp.PostSend(c.proc, wr)
+	t.noteOWR(1)
+	if d := t.rt.opts.WRTimeout; d > 0 {
+		cq, attempt := qp.CQ(), wr.Attempt()
+		t.rt.eng.Schedule(d, func() { cq.Expire(wr, attempt) })
 	}
 }
 
 // onComplete runs in engine context when one of this coroutine's WRs
 // completes: it replenishes the thread's credits (SMARTPOLLCQ) and
 // wakes the coroutine once a pending Sync is satisfied.
-func (c *Ctx) onComplete(*verbs.WR) {
+func (c *Ctx) onComplete(wr *verbs.WR) {
 	t := c.T
 	t.wrCompleted++
 	t.Stats.WRs++
@@ -97,6 +110,19 @@ func (c *Ctx) onComplete(*verbs.WR) {
 		t.credits.Release(1)
 	}
 	c.pending--
+	if wr.Status != rnic.StatusSuccess {
+		// Park the failure; the coroutine decides at Sync whether to
+		// repost or abandon. Completion still replenished the credit —
+		// the card slot is free either way.
+		c.failed = append(c.failed, wr)
+		if wr.Status == rnic.StatusTimeout {
+			t.Stats.FaultTimeouts++
+		}
+		if t.tel.Tracing() {
+			t.tel.Emit(t.rt.eng.Now(), "wr-error",
+				fmt.Sprintf("t%d %s %s", t.ID, wr.Kind, wr.Status))
+		}
+	}
 	if c.syncing && c.pending == 0 {
 		c.syncing = false
 		c.proc.Wake()
@@ -104,13 +130,33 @@ func (c *Ctx) onComplete(*verbs.WR) {
 }
 
 // Sync suspends the coroutine until all previously posted work
-// requests have completed.
+// requests have completed. Work requests that completed with an error
+// are transparently reposted for up to MaxWRRetries rounds; whatever
+// still fails after the budget is abandoned (counted, statuses left on
+// the WRs for the caller to inspect).
 func (c *Ctx) Sync() {
-	if c.pending == 0 {
-		return
+	if c.pending > 0 {
+		c.syncing = true
+		c.proc.Suspend()
 	}
-	c.syncing = true
-	c.proc.Suspend()
+	t := c.T
+	for round := 0; len(c.failed) > 0; round++ {
+		if round >= t.rt.opts.MaxWRRetries {
+			t.Stats.FaultAbandoned += uint64(len(c.failed))
+			c.failed = c.failed[:0]
+			return
+		}
+		retry := c.failed
+		c.failed = nil
+		t.Stats.FaultRetries += uint64(len(retry))
+		for _, wr := range retry {
+			c.post(wr)
+		}
+		if c.pending > 0 {
+			c.syncing = true
+			c.proc.Suspend()
+		}
+	}
 }
 
 // ReadSync is Read + PostSend + Sync.

@@ -98,6 +98,19 @@ type Options struct {
 	GammaHigh    float64  // γ_H (default 0.5)
 	GammaLow     float64  // γ_L (default 0.1)
 
+	// --- Fault recovery (only matters when faults are injected) ---
+
+	// WRTimeout, when positive, arms a software watchdog per posted
+	// work request: if no completion of any kind arrives within the
+	// timeout (a blackholed op), the WR completes with StatusTimeout.
+	// Zero (the default) disables the watchdog — the pre-fault model.
+	WRTimeout sim.Time
+
+	// MaxWRRetries bounds how many rounds Sync transparently reposts
+	// work requests that completed with an error. Zero (the default)
+	// never reposts: errors surface immediately as abandoned WRs.
+	MaxWRRetries int
+
 	// --- Telemetry (software Neo-Host) ---
 
 	// Telemetry, when set, receives live controller trajectories

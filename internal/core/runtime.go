@@ -186,6 +186,9 @@ func (rt *Runtime) TotalStats() ThreadStats {
 		s.WRs += t.Stats.WRs
 		s.CASTotal += t.Stats.CASTotal
 		s.CASFailed += t.Stats.CASFailed
+		s.FaultRetries += t.Stats.FaultRetries
+		s.FaultAbandoned += t.Stats.FaultAbandoned
+		s.FaultTimeouts += t.Stats.FaultTimeouts
 	}
 	return s
 }

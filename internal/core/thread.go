@@ -20,6 +20,11 @@ type ThreadStats struct {
 	WRs       uint64 // completed work requests
 	CASTotal  uint64 // CAS attempts through BackoffCASSync/CASSync
 	CASFailed uint64 // unsuccessful CAS attempts (retries)
+
+	// Fault recovery (zero in a fault-free run).
+	FaultRetries   uint64 // WRs transparently reposted by Sync after an error
+	FaultAbandoned uint64 // WRs given up after the retry budget
+	FaultTimeouts  uint64 // watchdog-expired WRs (StatusTimeout)
 }
 
 // Thread owns one compute thread's RDMA resources — its QPs (one per

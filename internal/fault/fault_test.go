@@ -1,0 +1,263 @@
+package fault
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/rnic"
+	"repro/internal/sim"
+)
+
+func TestKindMask(t *testing.T) {
+	cases := []struct {
+		mask KindMask
+		has  []rnic.OpKind
+		not  []rnic.OpKind
+		str  string
+	}{
+		{MaskRead, []rnic.OpKind{rnic.OpRead}, []rnic.OpKind{rnic.OpWrite, rnic.OpCAS, rnic.OpFAA}, "read"},
+		{MaskWrite, []rnic.OpKind{rnic.OpWrite}, []rnic.OpKind{rnic.OpRead}, "write"},
+		{MaskAtomic, []rnic.OpKind{rnic.OpCAS, rnic.OpFAA}, []rnic.OpKind{rnic.OpRead, rnic.OpWrite}, "cas+faa"},
+		{MaskRead | MaskCAS, []rnic.OpKind{rnic.OpRead, rnic.OpCAS}, []rnic.OpKind{rnic.OpWrite, rnic.OpFAA}, "read+cas"},
+		{MaskAll, []rnic.OpKind{rnic.OpRead, rnic.OpWrite, rnic.OpCAS, rnic.OpFAA}, nil, "all"},
+		{0, nil, []rnic.OpKind{rnic.OpRead}, "none"},
+	}
+	for _, c := range cases {
+		for _, k := range c.has {
+			if !c.mask.Has(k) {
+				t.Errorf("mask %s should cover kind %d", c.str, k)
+			}
+		}
+		for _, k := range c.not {
+			if c.mask.Has(k) {
+				t.Errorf("mask %s should not cover kind %d", c.str, k)
+			}
+		}
+		if got := c.mask.String(); got != c.str {
+			t.Errorf("mask %#x String = %q, want %q", uint8(c.mask), got, c.str)
+		}
+	}
+}
+
+func TestRuleCovers(t *testing.T) {
+	r := Rule{Start: 2 * sim.Millisecond, End: 3 * sim.Millisecond, Kinds: MaskRead | MaskWrite}
+	cases := []struct {
+		kind rnic.OpKind
+		at   sim.Time
+		want bool
+	}{
+		{rnic.OpRead, 2*sim.Millisecond - 1, false}, // before the window
+		{rnic.OpRead, 2 * sim.Millisecond, true},    // start is inclusive
+		{rnic.OpRead, 2500 * sim.Microsecond, true},
+		{rnic.OpRead, 3*sim.Millisecond - 1, true},
+		{rnic.OpRead, 3 * sim.Millisecond, false}, // end is exclusive
+		{rnic.OpWrite, 2 * sim.Millisecond, true},
+		{rnic.OpCAS, 2 * sim.Millisecond, false}, // kind not targeted
+		{rnic.OpFAA, 2500 * sim.Microsecond, false},
+	}
+	for _, c := range cases {
+		if got := r.Covers(c.kind, c.at); got != c.want {
+			t.Errorf("Covers(kind=%d, t=%s) = %v, want %v", c.kind, c.at, got, c.want)
+		}
+	}
+}
+
+func TestDecideDeterministicAndRNGFrugal(t *testing.T) {
+	plan := MustPlan([]Rule{
+		{Start: sim.Millisecond, End: 2 * sim.Millisecond, Kinds: MaskRead, Prob: 0.5,
+			Action: rnic.ActDelay, Factor: 4},
+		{Start: sim.Millisecond, End: 2 * sim.Millisecond, Kinds: MaskCAS, Prob: 1,
+			Action: rnic.ActFail, Status: rnic.StatusRemoteAccessErr},
+	})
+
+	// Ops outside every window (or of an untargeted kind) must not
+	// consume randomness: the RNG stream stays aligned with a twin.
+	rng, twin := rand.New(rand.NewSource(9)), rand.New(rand.NewSource(9))
+	if v := plan.Decide(rnic.OpRead, 0, rng); v.Action != rnic.ActNone {
+		t.Fatalf("op before the window perturbed: %+v", v)
+	}
+	if v := plan.Decide(rnic.OpWrite, 1500*sim.Microsecond, rng); v.Action != rnic.ActNone {
+		t.Fatalf("untargeted kind perturbed: %+v", v)
+	}
+	if v := plan.Decide(rnic.OpRead, 2*sim.Millisecond, rng); v.Action != rnic.ActNone {
+		t.Fatalf("op at the exclusive window end perturbed: %+v", v)
+	}
+	if rng.Int63() != twin.Int63() {
+		t.Fatal("uncovered Decide calls consumed randomness")
+	}
+
+	// A p=1 rule fires without drawing: the streams stay aligned.
+	rng, twin = rand.New(rand.NewSource(9)), rand.New(rand.NewSource(9))
+	v := plan.Decide(rnic.OpCAS, sim.Millisecond, rng)
+	if v.Action != rnic.ActFail || v.Status != rnic.StatusRemoteAccessErr {
+		t.Fatalf("covered CAS verdict = %+v, want fail/remote-access", v)
+	}
+	if rng.Int63() != twin.Int63() {
+		t.Fatal("p=1 Decide consumed randomness")
+	}
+
+	// A probabilistic rule draws exactly one sample, and the verdict is
+	// a pure function of the draw — two identically seeded streams see
+	// identical verdict sequences.
+	rng, twin = rand.New(rand.NewSource(9)), rand.New(rand.NewSource(9))
+	fired := 0
+	for i := 0; i < 200; i++ {
+		v := plan.Decide(rnic.OpRead, sim.Millisecond, rng)
+		w := plan.Decide(rnic.OpRead, sim.Millisecond, twin)
+		if v != w {
+			t.Fatalf("draw %d: verdicts diverged: %+v vs %+v", i, v, w)
+		}
+		if v.Action == rnic.ActDelay {
+			fired++
+		} else if v.Action != rnic.ActNone {
+			t.Fatalf("draw %d: unexpected action %v", i, v.Action)
+		}
+	}
+	if rng.Int63() != twin.Int63() {
+		t.Fatal("probabilistic Decide draw counts diverged")
+	}
+	// p=0.5 over 200 draws: a run entirely on either side would mean
+	// the probability is ignored.
+	if fired == 0 || fired == 200 {
+		t.Fatalf("p=0.5 rule fired %d/200 times", fired)
+	}
+}
+
+func TestNilAndZeroPlanInjectNothing(t *testing.T) {
+	var p *Plan
+	if v := p.Decide(rnic.OpRead, sim.Millisecond, nil); v != (rnic.Verdict{}) {
+		t.Fatalf("nil plan verdict = %+v", v)
+	}
+	if v := new(Plan).Decide(rnic.OpRead, sim.Millisecond, nil); v != (rnic.Verdict{}) {
+		t.Fatalf("zero plan verdict = %+v", v)
+	}
+	if s, e := p.Envelope(); s != 0 || e != 0 {
+		t.Fatalf("nil plan envelope = [%s, %s)", s, e)
+	}
+	if r := p.Rules(); r != nil {
+		t.Fatalf("nil plan rules = %v", r)
+	}
+}
+
+func TestEnvelope(t *testing.T) {
+	plan := MustPlan([]Rule{
+		{Start: 3 * sim.Millisecond, End: 4 * sim.Millisecond, Kinds: MaskRead, Prob: 1, Action: rnic.ActBlackhole},
+		{Start: sim.Millisecond, End: 2 * sim.Millisecond, Kinds: MaskWrite, Prob: 1, Action: rnic.ActDelay, Factor: 2},
+	})
+	s, e := plan.Envelope()
+	if s != sim.Millisecond || e != 4*sim.Millisecond {
+		t.Fatalf("envelope = [%s, %s), want [1ms, 4ms)", s, e)
+	}
+}
+
+func TestNewPlanValidation(t *testing.T) {
+	valid := func(r Rule) Rule { // fill a minimal valid delay rule, then override
+		if r.Start == 0 && r.End == 0 {
+			r.Start, r.End = sim.Millisecond, 2*sim.Millisecond
+		}
+		if r.Kinds == 0 {
+			r.Kinds = MaskRead
+		}
+		if r.Prob == 0 {
+			r.Prob = 1
+		}
+		if r.Action == rnic.ActNone {
+			r.Action, r.Factor = rnic.ActDelay, 2
+		}
+		return r
+	}
+	cases := []struct {
+		name    string
+		rules   []Rule
+		wantErr string // empty = must validate
+	}{
+		{"no rules", nil, "no rules"},
+		{"one valid rule", []Rule{valid(Rule{})}, ""},
+		{"empty window", []Rule{valid(Rule{Start: sim.Millisecond, End: sim.Millisecond, Kinds: MaskRead, Prob: 1})}, "empty or negative"},
+		{"inverted window", []Rule{valid(Rule{Start: 2 * sim.Millisecond, End: sim.Millisecond, Kinds: MaskRead, Prob: 1})}, "empty or negative"},
+		{"no kinds", []Rule{{Start: sim.Millisecond, End: 2 * sim.Millisecond, Prob: 1, Action: rnic.ActBlackhole}}, "no valid kinds"},
+		{"probability zero", []Rule{{Start: sim.Millisecond, End: 2 * sim.Millisecond, Kinds: MaskRead, Action: rnic.ActBlackhole}}, "outside (0, 1]"},
+		{"probability above one", []Rule{valid(Rule{Prob: 1.5})}, "outside (0, 1]"},
+		{"fail with success status", []Rule{valid(Rule{Action: rnic.ActFail})}, "non-success status"},
+		{"fail with timeout status", []Rule{valid(Rule{Action: rnic.ActFail, Status: rnic.StatusTimeout})}, "watchdog's verdict"},
+		{"delay factor one", []Rule{valid(Rule{Action: rnic.ActDelay, Factor: 1})}, "outside (1"},
+		{"delay factor huge", []Rule{valid(Rule{Action: rnic.ActDelay, Factor: 4096})}, "outside (1"},
+		{"drop count zero", []Rule{{Start: sim.Millisecond, End: 2 * sim.Millisecond, Kinds: MaskRead, Prob: 1, Action: rnic.ActDrop}}, "outside [1"},
+		{"drop count huge", []Rule{valid(Rule{Action: rnic.ActDrop, Drops: 99})}, "outside [1"},
+		{"overlap same kind", []Rule{
+			valid(Rule{Start: sim.Millisecond, End: 3 * sim.Millisecond, Kinds: MaskRead, Prob: 1}),
+			valid(Rule{Start: 2 * sim.Millisecond, End: 4 * sim.Millisecond, Kinds: MaskRead | MaskWrite, Prob: 1}),
+		}, "overlap"},
+		{"overlap disjoint kinds ok", []Rule{
+			valid(Rule{Start: sim.Millisecond, End: 3 * sim.Millisecond, Kinds: MaskRead, Prob: 1}),
+			valid(Rule{Start: sim.Millisecond, End: 3 * sim.Millisecond, Kinds: MaskAtomic, Prob: 1}),
+		}, ""},
+		{"adjacent windows ok", []Rule{
+			valid(Rule{Start: sim.Millisecond, End: 2 * sim.Millisecond, Kinds: MaskRead, Prob: 1}),
+			valid(Rule{Start: 2 * sim.Millisecond, End: 3 * sim.Millisecond, Kinds: MaskRead, Prob: 1}),
+		}, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, err := NewPlan(c.rules)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("NewPlan: %v", err)
+				}
+				if got := len(p.Rules()); got != len(c.rules) {
+					t.Fatalf("plan kept %d of %d rules", got, len(c.rules))
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("NewPlan accepted %v", c.rules)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+
+	// The rule-count ceiling.
+	many := make([]Rule, maxRules+1)
+	for i := range many {
+		many[i] = Rule{Start: sim.Time(i) * sim.Millisecond, End: sim.Time(i+1) * sim.Millisecond,
+			Kinds: MaskRead, Prob: 1, Action: rnic.ActBlackhole}
+	}
+	if _, err := NewPlan(many); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("NewPlan accepted %d rules: %v", len(many), err)
+	}
+}
+
+func TestDefaultPlan(t *testing.T) {
+	p := Default()
+	s, e := p.Envelope()
+	if s != 2*sim.Millisecond || e != 4*sim.Millisecond {
+		t.Fatalf("default envelope = [%s, %s), want [2ms, 4ms)", s, e)
+	}
+	// The default plan must NAK atomics across its whole window (the
+	// CAS storm the chaos checks rely on).
+	found := false
+	for _, r := range p.Rules() {
+		if r.Action == rnic.ActFail && r.Kinds == MaskAtomic &&
+			r.Start == s && r.End == e {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("default plan has no whole-window atomic fail rule")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{Start: 2 * sim.Millisecond, End: 4 * sim.Millisecond,
+		Kinds: MaskAtomic, Prob: 0.7,
+		Action: rnic.ActFail, Status: rnic.StatusRemoteAccessErr}
+	got := r.String()
+	for _, want := range []string{"fail@", "kind=cas+faa", "p=0.7", "status=remote-access"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+}

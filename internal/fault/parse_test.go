@@ -1,0 +1,93 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/rnic"
+	"repro/internal/sim"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		want    []Rule // nil when wantErr is set
+		wantErr string // substring the error must carry
+	}{
+		{"single delay with defaults", "delay@1ms-2ms",
+			[]Rule{{Start: sim.Millisecond, End: 2 * sim.Millisecond, Kinds: MaskAll, Prob: 1,
+				Action: rnic.ActDelay, Factor: 4}}, ""},
+		{"fail with explicit options", "fail@2ms-4ms:kind=cas+faa,p=0.7,status=remote-access",
+			[]Rule{{Start: 2 * sim.Millisecond, End: 4 * sim.Millisecond, Kinds: MaskAtomic, Prob: 0.7,
+				Action: rnic.ActFail, Status: rnic.StatusRemoteAccessErr}}, ""},
+		{"fail retry-exceeded", "fail@0ns-1us:status=retry-exceeded",
+			[]Rule{{Start: 0, End: sim.Microsecond, Kinds: MaskAll, Prob: 1,
+				Action: rnic.ActFail, Status: rnic.StatusRetryExceeded}}, ""},
+		{"drop with count", "drop@500us-900us:kind=read,drops=3,p=0.25",
+			[]Rule{{Start: 500 * sim.Microsecond, End: 900 * sim.Microsecond, Kinds: MaskRead, Prob: 0.25,
+				Action: rnic.ActDrop, Drops: 3}}, ""},
+		{"blackhole kind union", "blackhole@1s-2s:kind=read+write",
+			[]Rule{{Start: sim.Second, End: 2 * sim.Second, Kinds: MaskRead | MaskWrite, Prob: 1,
+				Action: rnic.ActBlackhole}}, ""},
+		{"two rules with whitespace", " delay@1ms-2ms:kind=read ; fail@1ms-2ms:kind=cas ",
+			[]Rule{
+				{Start: sim.Millisecond, End: 2 * sim.Millisecond, Kinds: MaskRead, Prob: 1,
+					Action: rnic.ActDelay, Factor: 4},
+				{Start: sim.Millisecond, End: 2 * sim.Millisecond, Kinds: MaskCAS, Prob: 1,
+					Action: rnic.ActFail, Status: rnic.StatusRemoteAccessErr},
+			}, ""},
+
+		{"empty spec", "", nil, "empty spec"},
+		{"blank rule", "delay@1ms-2ms;;", nil, "is empty"},
+		{"missing window", "delay", nil, "missing '@window'"},
+		{"unknown action", "explode@1ms-2ms", nil, "unknown action"},
+		{"window not a range", "delay@1ms", nil, "not start-end"},
+		{"no unit suffix", "delay@1000-2000", nil, "no unit suffix"},
+		{"fractional duration", "delay@1.5ms-2ms", nil, "not an integer"},
+		{"implausible duration", "delay@1ms-99999999s", nil, "implausibly large"},
+		{"inverted window", "delay@2ms-1ms", nil, "empty or negative"},
+		{"option not key=value", "delay@1ms-2ms:kind", nil, "not key=value"},
+		{"unknown option", "delay@1ms-2ms:frob=1", nil, "unknown option"},
+		{"unknown kind", "delay@1ms-2ms:kind=scan", nil, "unknown kind"},
+		{"bad probability", "delay@1ms-2ms:p=lots", nil, "not a number"},
+		{"probability out of range", "delay@1ms-2ms:p=1.5", nil, "outside (0, 1]"},
+		{"status on delay", "delay@1ms-2ms:status=remote-access", nil, "only applies to fail"},
+		{"unknown status", "fail@1ms-2ms:status=oops", nil, "unknown status"},
+		{"factor on drop", "drop@1ms-2ms:x=4", nil, "only applies to delay"},
+		{"drops on fail", "fail@1ms-2ms:drops=2", nil, "only applies to drop"},
+		{"drops not integer", "drop@1ms-2ms:drops=two", nil, "not an integer"},
+		{"overlapping rules", "delay@1ms-3ms:kind=read;drop@2ms-4ms:kind=read", nil, "overlap"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, err := Parse(c.spec)
+			if c.wantErr != "" {
+				if err == nil {
+					t.Fatalf("Parse(%q) accepted, rules %v", c.spec, p.Rules())
+				}
+				if !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("Parse(%q) error %q does not mention %q", c.spec, err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", c.spec, err)
+			}
+			if got := p.Rules(); !reflect.DeepEqual(got, c.want) {
+				t.Fatalf("Parse(%q) rules = %+v, want %+v", c.spec, got, c.want)
+			}
+		})
+	}
+}
+
+func TestParseDefault(t *testing.T) {
+	p, err := Parse("default")
+	if err != nil {
+		t.Fatalf("Parse(default): %v", err)
+	}
+	if !reflect.DeepEqual(p.Rules(), Default().Rules()) {
+		t.Fatal("Parse(\"default\") differs from Default()")
+	}
+}

@@ -129,6 +129,20 @@ type Params struct {
 	// policies).
 	QPLockHold        sim.Time
 	QPBouncePerWaiter sim.Time
+
+	// --- Transport recovery (only exercised under fault injection) ---
+
+	// RetransmitTimeout is the transport's retransmission timer: a
+	// dropped request packet is resent after this long. Real RC QPs
+	// derive it from ibv_qp_attr.timeout (4.096us * 2^timeout); the
+	// model uses a flat value.
+	RetransmitTimeout sim.Time
+
+	// MaxRetransmits caps transport retries (ibv_qp_attr.retry_cnt).
+	// An op whose packets are dropped more times than this completes
+	// with StatusRetryExceeded; a blackholed op's send-queue slot is
+	// silently reclaimed after the same budget elapses.
+	MaxRetransmits int
 }
 
 // Default returns the calibrated parameter set used by every benchmark
@@ -170,5 +184,8 @@ func Default() Params {
 
 		QPLockHold:        50,
 		QPBouncePerWaiter: 10,
+
+		RetransmitTimeout: 20 * sim.Microsecond,
+		MaxRetransmits:    4,
 	}
 }

@@ -1,6 +1,8 @@
 package rnic
 
 import (
+	"math/rand"
+
 	"repro/internal/blade"
 	"repro/internal/sim"
 )
@@ -29,16 +31,96 @@ func (k OpKind) String() string {
 	return "?"
 }
 
+// Status is the completion status of a work request, mirroring the
+// ibverbs wc_status values the model needs. The zero value is success,
+// so existing code that never inspects it keeps its behaviour.
+type Status uint8
+
+const (
+	// StatusSuccess is a normal completion.
+	StatusSuccess Status = iota
+	// StatusRemoteAccessErr models IBV_WC_REM_ACCESS_ERR: the responder
+	// NAKed the request and no memory side effect happened.
+	StatusRemoteAccessErr
+	// StatusRetryExceeded models IBV_WC_RETRY_EXC_ERR: the transport
+	// retransmitted the packet MaxRetransmits times without an ACK and
+	// gave up.
+	StatusRetryExceeded
+	// StatusTimeout is the software-level verdict of internal/core's
+	// per-WR watchdog: no completion of any kind arrived in time. The
+	// card never reports it itself.
+	StatusTimeout
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusSuccess:
+		return "success"
+	case StatusRemoteAccessErr:
+		return "remote-access-error"
+	case StatusRetryExceeded:
+		return "retry-exceeded"
+	case StatusTimeout:
+		return "timeout"
+	}
+	return "?"
+}
+
 // Op is one work request in flight. The verbs layer fills in the
 // callbacks: Exec applies the memory side effect at the responder at
 // its execution time (keeping blade memory linearized in virtual
 // time), and Complete delivers the completion entry at the requester.
+// Status is filled in by the card: ops that fail skip Exec entirely
+// (an erroring responder applies no memory side effect) and complete
+// with the error carried to the CQE.
 type Op struct {
 	Kind    OpKind
 	Payload int // payload bytes (read/write length; 8 for atomics)
+	Status  Status
 
 	Exec     func()
 	Complete func()
+}
+
+// Action is what a fault verdict does to a submitted op.
+type Action uint8
+
+const (
+	// ActNone lets the op proceed untouched.
+	ActNone Action = iota
+	// ActFail NAKs the op at the responder: the request pays the full
+	// path out, the responder applies no memory side effect, and the
+	// NAK returns as an error-status completion.
+	ActFail
+	// ActDelay stretches the op's wire latency by a multiplier
+	// (degraded link).
+	ActDelay
+	// ActDrop loses the request packet Drops times; the transport
+	// retransmits after RetransmitTimeout each time, or gives up with
+	// StatusRetryExceeded once Drops exceeds MaxRetransmits.
+	ActDrop
+	// ActBlackhole swallows the op: no completion is ever delivered
+	// (the send-queue slot is silently reclaimed once the transport's
+	// retry budget elapses). Only a software watchdog (internal/core's
+	// WRTimeout) recovers.
+	ActBlackhole
+)
+
+// Verdict is an Injector's decision for one op.
+type Verdict struct {
+	Action Action
+	Status Status  // for ActFail: the error to report
+	Factor float64 // for ActDelay: one-way latency multiplier (>= 1)
+	Drops  int     // for ActDrop: lost transmissions (>= 1)
+}
+
+// Injector decides, per submitted op, whether and how to perturb it.
+// Decide runs in engine context at submit time; implementations must
+// draw randomness only from the supplied seeded rng (and only when a
+// rule actually covers the op, so fault-free phases consume no draws
+// and stay byte-identical to a run with no injector at all).
+type Injector interface {
+	Decide(kind OpKind, now sim.Time, rng *rand.Rand) Verdict
 }
 
 // Counters accumulates observable totals, mirroring what Neo-Host and
@@ -56,6 +138,12 @@ type Counters struct {
 	// (READ/WRITE/CAS/FAA) — the per-verb view Neo-Host exposes as
 	// rx/tx verb counters.
 	ByKind [4]uint64
+
+	// --- Fault accounting (zero unless an Injector is installed) ---
+
+	Injected    uint64 // ops a fault verdict perturbed (any action)
+	Retransmits uint64 // transport-level retransmissions (ActDrop)
+	Errors      uint64 // completions delivered with a non-success status
 }
 
 // RNIC models one network card: the requester pipeline of its host
@@ -74,6 +162,8 @@ type RNIC struct {
 
 	outstanding int // posted but not yet completed WRs (WQE cache load)
 	contexts    int // open device contexts (MTT/MPT pressure)
+
+	fault Injector // nil = every op succeeds (the pre-fault model)
 
 	C Counters
 }
@@ -94,6 +184,14 @@ func New(eng *sim.Engine, name string, p Params) *RNIC {
 
 // Engine returns the simulation engine the card runs on.
 func (r *RNIC) Engine() *sim.Engine { return r.eng }
+
+// SetFault installs (or, with nil, removes) the card's fault injector.
+// With no injector the card is byte-for-byte the fault-free model: the
+// fault path draws no randomness and schedules no events.
+func (r *RNIC) SetFault(f Injector) { r.fault = f }
+
+// Fault returns the installed injector, nil when fault-free.
+func (r *RNIC) Fault() Injector { return r.fault }
 
 // Outstanding returns the number of in-flight work requests.
 func (r *RNIC) Outstanding() int { return r.outstanding }
@@ -160,18 +258,91 @@ func (r *RNIC) Submit(op *Op, target *RNIC, targetKind blade.Kind) {
 	r.C.BytesOnOut += uint64(outBytes)
 	r.C.BytesOnIn += uint64(inBytes)
 
+	// Fault injection happens at submit time, after the cost model's
+	// own randomness, so a fault-free window draws nothing extra and
+	// schedules the exact event sequence of an uninjected run.
+	owl := p.OneWayLatency
+	if r.fault != nil {
+		switch v := r.fault.Decide(op.Kind, r.eng.Now(), r.eng.Rand()); v.Action {
+		case ActNone:
+		case ActFail:
+			r.C.Injected++
+			st := v.Status
+			if st == StatusSuccess {
+				st = StatusRemoteAccessErr
+			}
+			// The request pays the path out; the responder NAKs
+			// without executing and the NAK travels straight back.
+			r.failAfter(op, st, service, outBytes, extraLat+2*p.OneWayLatency)
+			return
+		case ActDelay:
+			r.C.Injected++
+			f := v.Factor
+			if f < 1 {
+				f = 1
+			}
+			owl = sim.Time(float64(owl)*f + 0.5)
+		case ActDrop:
+			r.C.Injected++
+			drops := v.Drops
+			if drops < 1 {
+				drops = 1
+			}
+			if drops > p.MaxRetransmits {
+				// Transport gives up: retry-exceeded is reported
+				// locally once the whole retry budget elapses.
+				r.C.Retransmits += uint64(p.MaxRetransmits)
+				r.failAfter(op, StatusRetryExceeded, service, outBytes,
+					sim.Time(p.MaxRetransmits+1)*p.RetransmitTimeout)
+				return
+			}
+			// The copy after the last drop gets through; everything
+			// before it cost one retransmission timer each.
+			r.C.Retransmits += uint64(drops)
+			extraLat += sim.Time(drops) * p.RetransmitTimeout
+		case ActBlackhole:
+			r.C.Injected++
+			r.reqPipe.Submit(service, func() {
+				r.linkOut.Submit(r.linkTime(outBytes), func() {
+					r.eng.Schedule(sim.Time(p.MaxRetransmits+1)*p.RetransmitTimeout, func() {
+						// No completion, ever: the op vanishes and only
+						// the send-queue slot is reclaimed. A software
+						// watchdog is the only recovery.
+						r.outstanding--
+					})
+				})
+			})
+			return
+		}
+	}
+
 	r.reqPipe.Submit(service, func() {
 		r.linkOut.Submit(r.linkTime(outBytes), func() {
-			r.eng.Schedule(p.OneWayLatency+extraLat, func() {
+			r.eng.Schedule(owl+extraLat, func() {
 				target.respond(op, targetKind, func() {
 					// Response travels back; charge the requester's
 					// inbound link, then process the completion.
-					r.eng.Schedule(p.OneWayLatency, func() {
+					r.eng.Schedule(owl, func() {
 						r.linkIn.Submit(r.linkTime(inBytes), func() {
 							r.complete(op)
 						})
 					})
 				})
+			})
+		})
+	})
+}
+
+// failAfter runs op through the requester pipeline and outbound link,
+// then delivers an error completion after wait (the NAK round trip or
+// the exhausted transport retry budget). The responder is never
+// touched: an erroring op applies no memory side effect.
+func (r *RNIC) failAfter(op *Op, st Status, service sim.Time, outBytes int, wait sim.Time) {
+	r.reqPipe.Submit(service, func() {
+		r.linkOut.Submit(r.linkTime(outBytes), func() {
+			r.eng.Schedule(wait, func() {
+				op.Status = st
+				r.complete(op)
 			})
 		})
 	})
@@ -237,8 +408,14 @@ func (r *RNIC) complete(op *Op) {
 	r.reqPipe.Submit(service, func() {
 		deliver := func() {
 			r.outstanding--
-			r.C.Completed++
-			r.C.ByKind[op.Kind]++
+			if op.Status == StatusSuccess {
+				r.C.Completed++
+				r.C.ByKind[op.Kind]++
+			} else {
+				// Error completions are counted separately so MOPS
+				// computed from Completed dips during a fault window.
+				r.C.Errors++
+			}
 			r.C.DMABytes += uint64(dma)
 			if op.Complete != nil {
 				op.Complete()

@@ -130,9 +130,12 @@ func (c *Context) NextDoorbell() int { return c.qps % len(c.medium) }
 // NIC returns the underlying card.
 func (c *Context) NIC() *rnic.RNIC { return c.nic }
 
-// CQE is a completion queue entry.
+// CQE is a completion queue entry. Status mirrors the work request's
+// completion status at delivery time; consumers that predate the fault
+// model can keep ignoring it (the zero value is success).
 type CQE struct {
-	WR *WR
+	WR     *WR
+	Status rnic.Status
 }
 
 // cqWaiter is a parked consumer waiting for need entries.
@@ -153,6 +156,12 @@ type CQ struct {
 	waiters []cqWaiter
 
 	Delivered uint64
+
+	// Stale counts completions discarded by the attempt guard: the
+	// card's CQE for an op the software watchdog had already expired
+	// (and possibly reposted). Real RC QPs transition to an error state
+	// instead; the model quietly drops the late arrival.
+	Stale uint64
 }
 
 // CreateCQ returns an empty completion queue on the context.
@@ -160,14 +169,36 @@ func (c *Context) CreateCQ() *CQ {
 	return &CQ{eng: c.eng}
 }
 
-func (q *CQ) push(e CQE) {
-	q.Delivered++
-	if e.WR.OnComplete != nil {
-		e.WR.OnComplete(e.WR)
+// complete is the single delivery path for every completion — success,
+// card-reported error, and watchdog timeout alike. The attempt guard
+// drops late card completions for WRs the watchdog already expired, so
+// a reposted WR never sees its predecessor's CQE. Error completions
+// take the same buffer-and-kick route as successes: a consumer parked
+// in WaitN wakes even when every op in its batch failed.
+func (q *CQ) complete(wr *WR, attempt uint64, st rnic.Status) {
+	if attempt != wr.attempt || wr.completed {
+		q.Stale++
 		return
 	}
-	q.entries = append(q.entries, e)
+	wr.completed = true
+	wr.Status = st
+	q.Delivered++
+	if wr.OnComplete != nil {
+		wr.OnComplete(wr)
+		return
+	}
+	q.entries = append(q.entries, CQE{WR: wr, Status: st})
 	q.kick()
+}
+
+// Expire delivers a synthetic StatusTimeout completion for the given
+// attempt of a WR whose card completion never arrived (blackholed, or
+// just too slow for the caller's deadline). It is the software
+// watchdog's entry point: a no-op if that attempt already completed or
+// the WR has since been reposted, so a timer armed for attempt N can
+// never kill attempt N+1.
+func (q *CQ) Expire(wr *WR, attempt uint64) {
+	q.complete(wr, attempt, rnic.StatusTimeout)
 }
 
 // kick wakes the front waiter if its demand is satisfiable. Waiters
@@ -235,10 +266,21 @@ type WR struct {
 
 	ID uint64 // caller-owned tag (SMART stores batch metadata here)
 
+	// Status is the completion status of the most recent attempt,
+	// filled in at delivery time. Success until proven otherwise.
+	Status rnic.Status
+
 	// OnComplete, when set, is invoked at completion time instead of
 	// buffering a CQE. SMART uses it to route completions to the
 	// posting coroutine and to replenish throttling credits.
 	OnComplete func(*WR)
+
+	// attempt and completed implement the repost/timeout protocol:
+	// each launch bumps attempt, and the CQ delivers at most one
+	// completion per attempt (late card CQEs after a watchdog Expire
+	// are dropped as stale).
+	attempt   uint64
+	completed bool
 }
 
 // Read builds a READ work request fetching len(buf) bytes.
@@ -261,8 +303,16 @@ func FAA(remote blade.Addr, add uint64) *WR {
 	return &WR{Kind: rnic.OpFAA, Remote: remote, Add: add}
 }
 
-// Succeeded reports whether a CAS work request swapped.
-func (w *WR) Succeeded() bool { return w.Kind == rnic.OpCAS && w.Result == w.Compare }
+// Attempt returns the WR's current attempt number. A watchdog armed
+// after posting captures it so its Expire targets exactly that launch.
+func (w *WR) Attempt() uint64 { return w.attempt }
+
+// Succeeded reports whether a CAS work request completed successfully
+// and swapped. A CAS that erred or timed out never executed at the
+// responder, so its Result is meaningless and it did not swap.
+func (w *WR) Succeeded() bool {
+	return w.Kind == rnic.OpCAS && w.Status == rnic.StatusSuccess && w.Result == w.Compare
+}
 
 func (w *WR) payload() int {
 	switch w.Kind {
@@ -326,9 +376,15 @@ func (q *QP) PostSend(p *sim.Proc, wrs ...*WR) {
 }
 
 // launch hands the WR to the card model with memory-execution and
-// completion callbacks attached.
+// completion callbacks attached. Each launch opens a fresh attempt:
+// the WR's status resets to success and any completion still in flight
+// from a previous (expired) attempt becomes stale.
 func (q *QP) launch(wr *WR) {
 	mem := q.remote.Mem
+	wr.attempt++
+	wr.completed = false
+	wr.Status = rnic.StatusSuccess
+	attempt := wr.attempt
 	op := &rnic.Op{
 		Kind:    wr.Kind,
 		Payload: wr.payload(),
@@ -344,7 +400,7 @@ func (q *QP) launch(wr *WR) {
 				wr.Result = mem.FAA(wr.Remote.Offset, wr.Add)
 			}
 		},
-		Complete: func() { q.cq.push(CQE{WR: wr}) },
 	}
+	op.Complete = func() { q.cq.complete(wr, attempt, op.Status) }
 	q.ctx.nic.Submit(op, q.remote.NIC, mem.Kind)
 }
