@@ -25,7 +25,7 @@ func runExperiment(b *testing.B, id string) {
 		b.Fatalf("unknown experiment %q", id)
 	}
 	for i := 0; i < b.N; i++ {
-		result.Text(os.Stdout, e.Run(true, 0))
+		result.Text(os.Stdout, e.RunSeq(true, 0))
 	}
 }
 

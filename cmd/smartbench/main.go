@@ -13,6 +13,17 @@
 //	smartbench -exp fig13 -quick -trace 64 # dump the last 64 telemetry events
 //	smartbench -exp chaos -quick -check \
 //	    -faults default -seed 7            # fault injection + recovery gate
+//	smartbench -exp all -parallel 4 \
+//	    -stats bench_stats.json            # sweep points on 4 workers
+//
+// -parallel N runs each experiment's sweep points on N workers
+// (default 0 = GOMAXPROCS; 1 = sequential). Results merge in point
+// order, so every document — text, JSON, telemetry — is byte-identical
+// at any worker count; only the progress stream's timing lines differ.
+// -stats writes a small JSON record (worker count, per-experiment
+// point counts and wall-clock) so sweep speedups can be tracked; it is
+// kept out of the result documents on purpose, to preserve their
+// byte-identity across worker counts.
 //
 // -telemetry additionally runs the instrumented (software Neo-Host)
 // variant of each selected experiment that has one and writes the
@@ -29,12 +40,14 @@
 // -check.
 //
 // Exit status: 0 on success, 1 when -check finds shape violations,
-// 2 on usage errors (no -exp, unknown ID, bad flag values, -telemetry
-// or -trace with no instrumented experiment selected, -faults with a
-// malformed spec or without the chaos experiment selected).
+// 2 on usage errors (no -exp, unknown ID, bad flag values, negative
+// -parallel, -telemetry or -trace with no instrumented experiment
+// selected, -faults with a malformed spec or without the chaos
+// experiment selected).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +58,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/fault"
 	"repro/internal/result"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -55,16 +69,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("smartbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp    = fs.String("exp", "", "experiment id(s), comma separated, or 'all'")
-		quick  = fs.Bool("quick", false, "sparse sweeps (faster, fewer points)")
-		list   = fs.Bool("list", false, "list experiments and exit")
-		format = fs.String("format", "text", "output format: text or json")
-		out    = fs.String("out", "", "write rendered output to this file instead of stdout")
-		check  = fs.Bool("check", false, "assert the paper's qualitative shapes; exit 1 on violations")
-		seed   = fs.Int64("seed", 0, "offset every experiment's built-in seeds (0 = published numbers)")
-		telem  = fs.String("telemetry", "", "also run instrumented variants; write their counters as JSON to this file")
-		trace  = fs.Int("trace", 0, "keep the last N telemetry events of one instrumented run and dump them")
-		faults = fs.String("faults", "", "fault plan for the chaos experiment: 'default' or a rule spec (see internal/fault)")
+		exp      = fs.String("exp", "", "experiment id(s), comma separated, or 'all'")
+		quick    = fs.Bool("quick", false, "sparse sweeps (faster, fewer points)")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		format   = fs.String("format", "text", "output format: text or json")
+		out      = fs.String("out", "", "write rendered output to this file instead of stdout")
+		check    = fs.Bool("check", false, "assert the paper's qualitative shapes; exit 1 on violations")
+		seed     = fs.Int64("seed", 0, "offset every experiment's built-in seeds (0 = published numbers)")
+		telem    = fs.String("telemetry", "", "also run instrumented variants; write their counters as JSON to this file")
+		trace    = fs.Int("trace", 0, "keep the last N telemetry events of one instrumented run and dump them")
+		faults   = fs.String("faults", "", "fault plan for the chaos experiment: 'default' or a rule spec (see internal/fault)")
+		parallel = fs.Int("parallel", 0, "sweep-point workers per experiment (0 = GOMAXPROCS, 1 = sequential)")
+		stats    = fs.String("stats", "", "write sweep wall-clock stats (worker count, per-experiment points and ms) as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -88,6 +104,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *trace < 0 {
 		fmt.Fprintf(stderr, "smartbench: -trace %d is negative (want an event count)\n", *trace)
+		return 2
+	}
+	if *parallel < 0 {
+		fmt.Fprintf(stderr, "smartbench: -parallel %d is negative (want a worker count, or 0 for GOMAXPROCS)\n", *parallel)
 		return 2
 	}
 
@@ -182,11 +202,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Quick:     *quick,
 		Seed:      *seed,
 	}
+	// One sweeper serves every selected experiment: each Run enumerates
+	// its points and executes them on sw's worker pool. The progress
+	// hook fires in merge order, so the completed/total lines are
+	// byte-identical across worker counts (only the timing lines vary).
+	sw := sweep.New(*parallel)
+	st := sweepStats{Workers: sw.Workers()}
+	totalStart := time.Now()
 	var violations []bench.Violation
 	for _, e := range selected {
 		start := time.Now()
 		fmt.Fprintf(progress, "\n################ %s: %s\n", e.ID, e.Title)
-		tables := e.Run(*quick, *seed)
+		points := 0
+		sw.OnPoint(func(done, total int, p *sweep.Point) {
+			points++
+			fmt.Fprintf(progress, "[%s %d/%d %s]\n", e.ID, done, total, p.Label)
+		})
+		tables := e.Run(sw, *quick, *seed)
 		doc.Experiments = append(doc.Experiments, result.Experiment{
 			ID: e.ID, Title: e.Title, Tables: tables,
 		})
@@ -198,7 +230,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if telemetryWanted && bench.HasTelemetry(e.ID) {
 			fmt.Fprintf(progress, "\n[%s: running instrumented variant]\n", e.ID)
-			reg, ttables, _ := bench.RunTelemetry(e.ID, *quick, *seed, *trace)
+			reg, ttables, _ := bench.RunTelemetry(sw, e.ID, *quick, *seed, *trace)
 			telemDoc.Experiments = append(telemDoc.Experiments, result.Experiment{
 				ID: e.ID, Title: e.Title, Tables: ttables,
 			})
@@ -209,8 +241,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 				reg.Trace().Write(progress)
 			}
 		}
+		st.Experiments = append(st.Experiments, expSweepStats{
+			ID: e.ID, Points: points, WallMS: time.Since(start).Milliseconds(),
+		})
 		fmt.Fprintf(progress, "\n[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	st.TotalWallMS = time.Since(totalStart).Milliseconds()
 	if *format == "json" {
 		if err := result.JSON(render, doc); err != nil {
 			fmt.Fprintf(stderr, "smartbench: %v\n", err)
@@ -234,6 +270,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(progress, "\n[telemetry written to %s]\n", *telem)
 	}
+	if *stats != "" {
+		if err := writeStats(*stats, st); err != nil {
+			fmt.Fprintf(stderr, "smartbench: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(progress, "\n[sweep stats written to %s]\n", *stats)
+	}
 
 	if *check {
 		if len(violations) > 0 {
@@ -246,6 +289,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(progress, "\nsmartbench: all shape checks passed\n")
 	}
 	return 0
+}
+
+// sweepStats is the -stats document: wall-clock and worker-count
+// bookkeeping, deliberately separate from the result documents (which
+// must stay byte-identical across worker counts).
+type sweepStats struct {
+	Workers     int             `json:"workers"`
+	Experiments []expSweepStats `json:"experiments"`
+	TotalWallMS int64           `json:"total_wall_ms"`
+}
+
+type expSweepStats struct {
+	ID     string `json:"id"`
+	Points int    `json:"points"`
+	WallMS int64  `json:"wall_ms"`
+}
+
+func writeStats(path string, st sweepStats) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(st); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printList(w io.Writer) {

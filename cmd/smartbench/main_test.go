@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,6 +28,7 @@ func TestUsageErrorsExit2(t *testing.T) {
 		{"unknown experiment", []string{"-exp", "fig33"}, "did you mean"},
 		{"unknown format", []string{"-exp", "fig3", "-format", "yaml"}, "unknown -format"},
 		{"negative trace", []string{"-exp", "fig13", "-trace", "-5"}, "negative"},
+		{"negative parallel", []string{"-exp", "fig4", "-parallel", "-2"}, "-parallel -2 is negative"},
 		{"trace without instrumented run", []string{"-exp", "fig4", "-trace", "16"}, "exactly one of"},
 		{"trace across two instrumented runs", []string{"-exp", "fig3,fig13", "-trace", "16"}, "exactly one of"},
 		{"telemetry without instrumented run", []string{"-exp", "fig4", "-telemetry", "t.json"}, "needs an instrumented experiment"},
@@ -133,6 +135,89 @@ func TestTelemetryRunEndToEnd(t *testing.T) {
 	}
 	if rdoc.Generator != "smartbench" {
 		t.Errorf("results generator = %q, want smartbench", rdoc.Generator)
+	}
+}
+
+// TestParallelByteIdentity is the CLI face of the sweep scheduler's
+// merge-order contract: the same experiment, run with -parallel 1 and
+// -parallel 3, must write byte-identical result documents. The -stats
+// sidecar carries the wall-clock/worker bookkeeping precisely so the
+// documents can stay identical.
+func TestParallelByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real sweep twice")
+	}
+	dir := t.TempDir()
+	render := func(parallel string) []byte {
+		out := filepath.Join(dir, "out_p"+parallel+".json")
+		code, stdout, stderr := runCLI(
+			"-exp", "fig4", "-quick", "-format", "json", "-out", out,
+			"-parallel", parallel, "-stats", filepath.Join(dir, "stats_p"+parallel+".json"))
+		if code != 0 {
+			t.Fatalf("-parallel %s: exit %d, want 0; stderr:\n%s", parallel, code, stderr)
+		}
+		if stdout != "" {
+			t.Fatalf("-parallel %s: -out set but stdout not empty:\n%s", parallel, stdout)
+		}
+		b, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	seq, par := render("1"), render("3")
+	if !bytes.Equal(seq, par) {
+		t.Errorf("-parallel 1 and -parallel 3 rendered different documents:\n--- sequential\n%s\n--- parallel\n%s", seq, par)
+	}
+
+	// The stats sidecar must record the worker count and point count.
+	b, err := os.ReadFile(filepath.Join(dir, "stats_p3.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st sweepStats
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatalf("stats file is not valid JSON: %v", err)
+	}
+	if st.Workers != 3 {
+		t.Errorf("stats workers = %d, want 3", st.Workers)
+	}
+	if len(st.Experiments) != 1 || st.Experiments[0].ID != "fig4" || st.Experiments[0].Points == 0 {
+		t.Errorf("stats experiments = %+v, want one fig4 entry with points > 0", st.Experiments)
+	}
+}
+
+// TestParallelProgressIsDeterministic pins the progress stream's
+// completed/total lines: the hook fires in merge order, so the point
+// lines are identical at any worker count (only timing lines differ).
+func TestParallelProgressIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real sweep twice")
+	}
+	pointLines := func(parallel string) []string {
+		out := filepath.Join(t.TempDir(), "out.json")
+		code, _, stderr := runCLI(
+			"-exp", "fig4", "-quick", "-format", "json", "-out", out, "-parallel", parallel)
+		if code != 0 {
+			t.Fatalf("-parallel %s: exit %d; stderr:\n%s", parallel, code, stderr)
+		}
+		var lines []string
+		for _, l := range strings.Split(stderr, "\n") {
+			// "[fig4 3/6 thr=96/owr=2]" — but not the wall-clock
+			// line "[fig4 done in 1.2s]", which may legitimately vary.
+			if strings.HasPrefix(l, "[fig4 ") && !strings.Contains(l, " done in ") {
+				lines = append(lines, l)
+			}
+		}
+		return lines
+	}
+	seq, par := pointLines("1"), pointLines("4")
+	if len(seq) == 0 {
+		t.Fatal("no per-point progress lines on the progress stream")
+	}
+	if strings.Join(seq, "\n") != strings.Join(par, "\n") {
+		t.Errorf("progress point lines differ across worker counts:\n--- sequential\n%s\n--- parallel\n%s",
+			strings.Join(seq, "\n"), strings.Join(par, "\n"))
 	}
 }
 

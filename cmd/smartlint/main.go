@@ -1,7 +1,7 @@
 // Smartlint is the determinism linter for this reproduction: a
-// multichecker that runs the four custom analyzers from
-// internal/analysis (nowallclock, seededrand, maporder, simtime) over
-// the module, plus a selected set of `go vet` passes. Every number
+// multichecker that runs the five custom analyzers from
+// internal/analysis (nowallclock, seededrand, maporder, simtime,
+// sharedstate) over the module, plus a selected set of `go vet` passes. Every number
 // the reproduction reports depends on the discrete-event engine being
 // bit-for-bit deterministic under a fixed seed; these rules machine-
 // check the invariants that keep it that way.
@@ -28,6 +28,7 @@ import (
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/nowallclock"
 	"repro/internal/analysis/seededrand"
+	"repro/internal/analysis/sharedstate"
 	"repro/internal/analysis/simtime"
 )
 
@@ -37,6 +38,7 @@ var analyzers = []*framework.Analyzer{
 	seededrand.Analyzer,
 	maporder.Analyzer,
 	simtime.Analyzer,
+	sharedstate.Analyzer,
 }
 
 // vetPasses are the stock `go vet` analyzers worth running alongside

@@ -1,0 +1,75 @@
+// Package sharedstate defines a smartlint analyzer that flags
+// package-level variables in the sweep runner packages. The sweep
+// scheduler (internal/sweep) executes experiment points concurrently
+// on the strength of one invariant: a point's run func touches only
+// state owned by that point — its cluster, engine, seeded rand.Source,
+// and telemetry registry. A package-level variable in a runner package
+// is exactly the kind of state that silently breaks that invariant
+// (two points racing on a shared table, plan, or cache), so every one
+// must either move into the point's config/closure or carry a
+// reviewed
+//
+//	//smartlint:ignore sharedstate — <why it is safe>
+//
+// annotation on, or directly above, the declaration.
+package sharedstate
+
+import (
+	"go/ast"
+	"path"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// runnerPackages are the import-path base names the rule applies to:
+// the experiment runners (bench) and the scheduler itself (sweep).
+// External test packages ("bench_test") are covered too — test
+// helpers run points through the same pool.
+var runnerPackages = map[string]bool{
+	"bench": true,
+	"sweep": true,
+}
+
+// Analyzer is the sharedstate rule.
+var Analyzer = &framework.Analyzer{
+	Name: "sharedstate",
+	Doc: "flag package-level variables in sweep runner packages (internal/bench, " +
+		"internal/sweep): sweep points execute concurrently, so runner packages must " +
+		"hold no shared mutable state; move it into the point's config or closure, or " +
+		"annotate a reviewed declaration with //smartlint:ignore sharedstate",
+	Run: run,
+}
+
+func isRunnerPackage(pkgPath string) bool {
+	return runnerPackages[strings.TrimSuffix(path.Base(pkgPath), "_test")]
+}
+
+func run(pass *framework.Pass) error {
+	if !isRunnerPackage(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok.String() != "var" {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					pass.Reportf(name.Pos(),
+						"package-level var %s in runner package %s: sweep points run concurrently, so runner packages must hold no shared mutable state (move it into the point's config/closure, or annotate a reviewed var with %s sharedstate)",
+						name.Name, pass.Pkg.Name(), framework.IgnoreDirective)
+				}
+			}
+		}
+	}
+	return nil
+}

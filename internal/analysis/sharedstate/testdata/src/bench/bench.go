@@ -1,0 +1,29 @@
+// Package bench is a sharedstate fixture: its base name marks it as a
+// runner package, so every package-level var must be flagged unless an
+// ignore directive covers it.
+package bench
+
+import "errors"
+
+var grid = []int{1, 2, 3} // want `package-level var grid in runner package bench`
+
+var ( // grouped declarations are flagged per name
+	counter int                // want `package-level var counter in runner package bench`
+	lookup  = map[string]int{} // want `package-level var lookup in runner package bench`
+)
+
+var errStale = errors.New("stale") // want `package-level var errStale in runner package bench`
+
+//smartlint:ignore sharedstate — written only during init, read-only afterwards
+var registry = map[string]int{}
+
+// Constants and functions carry no run-time state and must not be
+// flagged.
+const keys = 200_000
+
+func threadGrid() []int { return []int{4, 8} }
+
+func use() (int, int, error) {
+	counter++
+	return grid[0] + lookup["x"] + registry["y"] + keys, threadGrid()[0], errStale
+}

@@ -1,0 +1,12 @@
+// Package other is a sharedstate fixture for a non-runner package:
+// package-level vars are allowed here, so nothing is flagged.
+package other
+
+var cache = map[string]int{}
+
+var hits int
+
+func lookup(k string) int {
+	hits++
+	return cache[k]
+}

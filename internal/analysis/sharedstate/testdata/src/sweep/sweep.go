@@ -1,0 +1,7 @@
+// Package sweep is a sharedstate fixture for the scheduler package
+// itself: the rule applies there too.
+package sweep
+
+var defaultWorkers = 4 // want `package-level var defaultWorkers in runner package sweep`
+
+func workers() int { return defaultWorkers }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/result"
 	"repro/internal/rnic"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -20,7 +21,7 @@ func init() {
 	register(&Experiment{
 		ID:    "abl-db",
 		Title: "Ablation: medium-latency doorbell count vs 96-thread READ throughput",
-		Run: func(quick bool, seed int64) []result.Table {
+		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
 			counts := []int{1, 2, 4, 8, 12, 24, 48, 96, 192, 512}
 			if quick {
 				counts = []int{4, 12, 96}
@@ -28,26 +29,30 @@ func init() {
 			t := result.NewTable("abl-db",
 				"Ablation — MOPS vs doorbell registers (96 threads, per-thread QPs, batch 8)", "doorbells")
 			t.YUnit, t.Prec = "MOPS", 1
+			set := &sweep.Set{}
 			for _, n := range counts {
 				// Pin the doorbell count by cloning params: the policy
 				// raises medium DBs to min(threads, MaxDoorbells).
 				p := rnic.Default()
 				p.MaxDoorbells = n
 				p.DefaultMediumDBs = minInt(n, p.DefaultMediumDBs)
-				r := RunMicro(MicroConfig{
-					Opts: core.Baseline(core.PerThreadDoorbell), Threads: 96, Batch: 8,
-					Op: rnic.OpRead, Seed: 41 + seed, Params: &p,
-				})
-				t.Add("MOPS", float64(n), r.MOPS)
+				sweep.Add(set, fmt.Sprintf("abl-db/n=%d", n), 41+seed,
+					MicroConfig{
+						Opts: core.Baseline(core.PerThreadDoorbell), Threads: 96, Batch: 8,
+						Op: rnic.OpRead, Seed: 41 + seed, Params: &p,
+					},
+					RunMicro,
+					func(r MicroResult) { t.Add("MOPS", float64(n), r.MOPS) })
 			}
-			return []result.Table{*t}
+			sw.Run(set)
+			return collect([]*result.Table{t})
 		},
 	})
 
 	register(&Experiment{
 		ID:    "abl-wqe",
 		Title: "Ablation: WQE cache size vs throughput at 96 threads x 32 OWRs",
-		Run: func(quick bool, seed int64) []result.Table {
+		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
 			sizes := []int{256, 512, 1024, 2048, 4096, 8192}
 			if quick {
 				sizes = []int{512, 1024, 4096}
@@ -56,24 +61,30 @@ func init() {
 				"Ablation — MOPS and DMA bytes/WR vs WQE cache entries (96x32)", "entries")
 			t.Def("MOPS", "", 1)
 			t.Def("DMA", "B/WR", 0)
+			set := &sweep.Set{}
 			for _, n := range sizes {
 				p := rnic.Default()
 				p.WQECacheEntries = n
-				r := RunMicro(MicroConfig{
-					Opts: core.Baseline(core.PerThreadDoorbell), Threads: 96, Batch: 32,
-					Op: rnic.OpRead, Seed: 42 + seed, Params: &p,
-				})
-				t.Add("MOPS", float64(n), r.MOPS)
-				t.Add("DMA", float64(n), r.DMABytesPerWR)
+				sweep.Add(set, fmt.Sprintf("abl-wqe/n=%d", n), 42+seed,
+					MicroConfig{
+						Opts: core.Baseline(core.PerThreadDoorbell), Threads: 96, Batch: 32,
+						Op: rnic.OpRead, Seed: 42 + seed, Params: &p,
+					},
+					RunMicro,
+					func(r MicroResult) {
+						t.Add("MOPS", float64(n), r.MOPS)
+						t.Add("DMA", float64(n), r.DMABytesPerWR)
+					})
 			}
-			return []result.Table{*t}
+			sw.Run(set)
+			return collect([]*result.Table{t})
 		},
 	})
 
 	register(&Experiment{
 		ID:    "abl-gamma",
 		Title: "Ablation: conflict-avoidance watermarks under 100% skewed updates (96 threads)",
-		Run: func(quick bool, seed int64) []result.Table {
+		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
 			marks := []struct{ hi, lo float64 }{
 				{0.25, 0.05}, {0.5, 0.1}, {0.75, 0.25}, {0.9, 0.5},
 			}
@@ -84,25 +95,32 @@ func init() {
 				"Ablation — γ_H/γ_L sensitivity (SMART-HT, update-only, Zipf 0.99)", "γ_H/γ_L")
 			t.Def("MOPS", "", 2)
 			t.Def("retries/upd", "", 2)
+			set := &sweep.Set{}
 			for _, m := range marks {
 				opts := core.Smart()
 				opts.GammaHigh, opts.GammaLow = m.hi, m.lo
-				r := runHTQ(quick, HTConfig{
-					Opts: opts, ThreadsPerBlade: 96,
-					Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 43 + seed,
-				})
 				label := fmt.Sprintf("%.2f/%.2f", m.hi, m.lo)
-				t.AddLabeled("MOPS", m.hi, label, r.MOPS)
-				t.AddLabeled("retries/upd", m.hi, label, r.AvgRetries)
+				m := m
+				sweep.Add(set, "abl-gamma/"+label, 43+seed,
+					HTConfig{
+						Opts: opts, ThreadsPerBlade: 96,
+						Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 43 + seed,
+					},
+					htPoint(quick),
+					func(r HTResult) {
+						t.AddLabeled("MOPS", m.hi, label, r.MOPS)
+						t.AddLabeled("retries/upd", m.hi, label, r.AvgRetries)
+					})
 			}
-			return []result.Table{*t}
+			sw.Run(set)
+			return collect([]*result.Table{t})
 		},
 	})
 
 	register(&Experiment{
 		ID:    "abl-t0",
 		Title: "Ablation: backoff unit t0 under 100% skewed updates (96 threads)",
-		Run: func(quick bool, seed int64) []result.Table {
+		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
 			units := []sim.Time{800, 1600, 3300, 6600, 13200}
 			if quick {
 				units = []sim.Time{1600, 3300, 13200}
@@ -113,26 +131,32 @@ func init() {
 			t.Def("MOPS", "", 2)
 			t.Def("p50", "us", 1)
 			t.Def("retries/upd", "", 2)
+			set := &sweep.Set{}
 			for _, t0 := range units {
 				opts := core.Smart()
 				opts.BackoffUnit = t0
-				r := runHTQ(quick, HTConfig{
-					Opts: opts, ThreadsPerBlade: 96,
-					Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 44 + seed,
-				})
 				x := float64(t0)
-				t.Add("MOPS", x, r.MOPS)
-				t.Add("p50", x, us(r.Median))
-				t.Add("retries/upd", x, r.AvgRetries)
+				sweep.Add(set, fmt.Sprintf("abl-t0/t0=%d", t0), 44+seed,
+					HTConfig{
+						Opts: opts, ThreadsPerBlade: 96,
+						Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 44 + seed,
+					},
+					htPoint(quick),
+					func(r HTResult) {
+						t.Add("MOPS", x, r.MOPS)
+						t.Add("p50", x, us(r.Median))
+						t.Add("retries/upd", x, r.AvgRetries)
+					})
 			}
-			return []result.Table{*t}
+			sw.Run(set)
+			return collect([]*result.Table{t})
 		},
 	})
 
 	register(&Experiment{
 		ID:    "abl-spec",
 		Title: "Ablation: speculative-lookup cache size (SMART-BT, read-only, 48 threads)",
-		Run: func(quick bool, seed int64) []result.Table {
+		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
 			sizes := []int{256, 1024, 4096, 16384, 65536}
 			if quick {
 				sizes = []int{1024, 16384}
@@ -141,16 +165,23 @@ func init() {
 				"Ablation — spec cache entries vs MOPS and hit rate", "entries")
 			t.Def("MOPS", "", 2)
 			t.Def("hit rate", "", 2)
+			set := &sweep.Set{}
 			for _, n := range sizes {
-				r := runBTQ(quick, BTConfig{
-					Variant: SmartBT, ThreadsPerBlade: 48,
-					Theta: 0.99, Mix: workload.ReadOnly, Keys: htKeys, Seed: 45 + seed,
-					SpecCacheEntries: n,
-				})
-				t.Add("MOPS", float64(n), r.MOPS)
-				t.Add("hit rate", float64(n), r.SpecHit)
+				n := n
+				sweep.Add(set, fmt.Sprintf("abl-spec/n=%d", n), 45+seed,
+					BTConfig{
+						Variant: SmartBT, ThreadsPerBlade: 48,
+						Theta: 0.99, Mix: workload.ReadOnly, Keys: htKeys, Seed: 45 + seed,
+						SpecCacheEntries: n,
+					},
+					btPoint(quick),
+					func(r BTResult) {
+						t.Add("MOPS", float64(n), r.MOPS)
+						t.Add("hit rate", float64(n), r.SpecHit)
+					})
 			}
-			return []result.Table{*t}
+			sw.Run(set)
+			return collect([]*result.Table{t})
 		},
 	})
 }
@@ -159,7 +190,7 @@ func init() {
 	register(&Experiment{
 		ID:    "abl-payload",
 		Title: "Ablation: payload size — the IOPS-bound to bandwidth-bound transition (§3.1)",
-		Run: func(quick bool, seed int64) []result.Table {
+		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
 			sizes := []int{8, 16, 32, 64, 128, 256, 512, 1024}
 			if quick {
 				sizes = []int{8, 64, 512}
@@ -169,15 +200,22 @@ func init() {
 			t.XUnit = "B"
 			t.Def("MOPS", "", 1)
 			t.Def("Gbps", "", 1)
+			set := &sweep.Set{}
 			for _, n := range sizes {
-				r := RunMicro(MicroConfig{
-					Opts: core.Baseline(core.PerThreadDoorbell), Threads: 96, Batch: 8,
-					Op: rnic.OpRead, Payload: n, Seed: 46 + seed,
-				})
-				t.Add("MOPS", float64(n), r.MOPS)
-				t.Add("Gbps", float64(n), r.MOPS*float64(n)*8/1e3)
+				n := n
+				sweep.Add(set, fmt.Sprintf("abl-payload/n=%d", n), 46+seed,
+					MicroConfig{
+						Opts: core.Baseline(core.PerThreadDoorbell), Threads: 96, Batch: 8,
+						Op: rnic.OpRead, Payload: n, Seed: 46 + seed,
+					},
+					RunMicro,
+					func(r MicroResult) {
+						t.Add("MOPS", float64(n), r.MOPS)
+						t.Add("Gbps", float64(n), r.MOPS*float64(n)*8/1e3)
+					})
 			}
-			return []result.Table{*t}
+			sw.Run(set)
+			return collect([]*result.Table{t})
 		},
 	})
 }

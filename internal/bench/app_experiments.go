@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/result"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -11,28 +12,36 @@ func init() {
 	register(&Experiment{
 		ID:    "fig10",
 		Title: "Fig. 10: distributed transaction throughput, FORD+ vs SMART-DTX",
-		Run: func(quick bool, seed int64) []result.Table {
-			var tables []result.Table
+		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
+			systems := []struct {
+				name     string
+				fordPlus bool
+			}{{"FORD+", true}, {"SMART-DTX", false}}
+			set := &sweep.Set{}
+			var tabs []*result.Table
 			for _, wl := range []DTXWorkload{SmallBank, TATP} {
 				t := result.NewTable(fmt.Sprintf("fig10-%s", wl),
 					fmt.Sprintf("Fig. 10 — %s: MTPS vs threads", wl), "threads")
 				t.YUnit = "MTPS"
+				tabs = append(tabs, t)
 				for _, thr := range threadGrid(quick) {
-					ford := runDTXQ(quick, DTXConfig{Workload: wl, FORDPlus: true, Threads: thr, Seed: 31 + seed})
-					smart := runDTXQ(quick, DTXConfig{Workload: wl, Threads: thr, Seed: 31 + seed})
-					t.Add("FORD+", float64(thr), ford.MTPS)
-					t.Add("SMART-DTX", float64(thr), smart.MTPS)
+					for _, sys := range systems {
+						sweep.Add(set, fmt.Sprintf("%s/%s/thr=%d", t.ID, sys.name, thr), 31+seed,
+							DTXConfig{Workload: wl, FORDPlus: sys.fordPlus, Threads: thr, Seed: 31 + seed},
+							dtxPoint(quick),
+							func(r DTXResult) { t.Add(sys.name, float64(thr), r.MTPS) })
+					}
 				}
-				tables = append(tables, *t)
 			}
-			return tables
+			sw.Run(set)
+			return collect(tabs)
 		},
 	})
 
 	register(&Experiment{
 		ID:    "fig11",
 		Title: "Fig. 11: throughput vs latency for distributed transactions (96x8 tasks)",
-		Run: func(quick bool, seed int64) []result.Table {
+		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
 			targets := map[DTXWorkload][]float64{
 				SmallBank: {0.5, 1, 2, 4, 8, 0},
 				TATP:      {1, 2, 4, 8, 16, 0},
@@ -43,7 +52,8 @@ func init() {
 					TATP:      {4, 0},
 				}
 			}
-			var tables []result.Table
+			set := &sweep.Set{}
+			var tabs []*result.Table
 			for _, wl := range []DTXWorkload{SmallBank, TATP} {
 				for _, sys := range []struct {
 					name     string
@@ -53,46 +63,55 @@ func init() {
 						fmt.Sprintf("Fig. 11 — %s, %s: achieved MTPS, p50, p99", wl, sys.name), "target")
 					t.XUnit = "MTPS"
 					defLatencySeries(t, "MTPS")
+					tabs = append(tabs, t)
 					for _, tgt := range targets[wl] {
-						r := runDTXQ(quick, DTXConfig{Workload: wl, FORDPlus: sys.fordPlus,
-							Threads: 96, Seed: 32 + seed, TargetMTPS: tgt})
 						label := ""
 						if tgt == 0 {
 							label = "max"
 						}
-						t.AddLabeled("MTPS", tgt, label, r.MTPS)
-						t.AddLabeled("p50", tgt, label, us(r.Median))
-						t.AddLabeled("p99", tgt, label, us(r.P99))
+						tgt := tgt
+						sweep.Add(set, fmt.Sprintf("%s/target=%g", t.ID, tgt), 32+seed,
+							DTXConfig{Workload: wl, FORDPlus: sys.fordPlus,
+								Threads: 96, Seed: 32 + seed, TargetMTPS: tgt},
+							dtxPoint(quick),
+							func(r DTXResult) {
+								t.AddLabeled("MTPS", tgt, label, r.MTPS)
+								t.AddLabeled("p50", tgt, label, us(r.Median))
+								t.AddLabeled("p99", tgt, label, us(r.P99))
+							})
 					}
-					tables = append(tables, *t)
 				}
 			}
-			return tables
+			sw.Run(set)
+			return collect(tabs)
 		},
 	})
 
 	register(&Experiment{
 		ID:    "fig12",
 		Title: "Fig. 12: B+Tree throughput, Sherman+ vs Sherman+ w/SL vs SMART-BT",
-		Run: func(quick bool, seed int64) []result.Table {
+		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
 			variants := []BTVariant{ShermanPlus, ShermanPlusSL, SmartBT}
 			grid := []int{8, 16, 32, 48, 64, 94}
 			if quick {
 				grid = []int{8, 48, 94}
 			}
-			var tables []result.Table
-			for _, mix := range htMixes {
+			set := &sweep.Set{}
+			var tabs []*result.Table
+			for _, mix := range htMixes() {
 				t := result.NewTable("fig12-scaleup-"+mix.Name,
 					fmt.Sprintf("Fig. 12(a-c) — %s, 1 server: MOPS vs threads", mix.Name), "threads")
 				t.YUnit = "MOPS"
+				tabs = append(tabs, t)
 				for _, thr := range grid {
 					for _, v := range variants {
-						r := runBTQ(quick, BTConfig{Variant: v, ThreadsPerBlade: thr,
-							Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 33 + seed})
-						t.Add(v.String(), float64(thr), r.MOPS)
+						sweep.Add(set, fmt.Sprintf("%s/%s/thr=%d", t.ID, v, thr), 33+seed,
+							BTConfig{Variant: v, ThreadsPerBlade: thr,
+								Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 33 + seed},
+							btPoint(quick),
+							func(r BTResult) { t.Add(v.String(), float64(thr), r.MOPS) })
 					}
 				}
-				tables = append(tables, *t)
 			}
 			servers := []int{1, 2, 4, 6, 8}
 			threads := 94
@@ -100,20 +119,23 @@ func init() {
 				servers = []int{1, 4}
 				threads = 32
 			}
-			for _, mix := range htMixes {
+			for _, mix := range htMixes() {
 				t := result.NewTable("fig12-scaleout-"+mix.Name,
 					fmt.Sprintf("Fig. 12(d-f) — %s, %d threads/server: MOPS vs servers", mix.Name, threads), "servers")
 				t.YUnit = "MOPS"
+				tabs = append(tabs, t)
 				for _, s := range servers {
 					for _, v := range variants {
-						r := runBTQ(quick, BTConfig{Variant: v, Servers: s, ThreadsPerBlade: threads,
-							Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 33 + seed})
-						t.Add(v.String(), float64(s), r.MOPS)
+						sweep.Add(set, fmt.Sprintf("%s/%s/servers=%d", t.ID, v, s), 33+seed,
+							BTConfig{Variant: v, Servers: s, ThreadsPerBlade: threads,
+								Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 33 + seed},
+							btPoint(quick),
+							func(r BTResult) { t.Add(v.String(), float64(s), r.MOPS) })
 					}
 				}
-				tables = append(tables, *t)
 			}
-			return tables
+			sw.Run(set)
+			return collect(tabs)
 		},
 	})
 }

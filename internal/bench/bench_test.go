@@ -172,7 +172,7 @@ func TestExperimentQuickSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a real sweep")
 	}
-	tables := ByID("fig4").Run(true, 0)
+	tables := ByID("fig4").RunSeq(true, 0)
 	if len(tables) != 2 {
 		t.Fatalf("fig4 returned %d tables, want 2", len(tables))
 	}

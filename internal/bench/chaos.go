@@ -10,6 +10,7 @@ import (
 	"repro/internal/result"
 	"repro/internal/rnic"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/telemetry"
 )
 
@@ -31,7 +32,10 @@ import (
 // chaosPlan is the fault plan the chaos experiment injects; the CLI
 // overrides it via SetChaosFaults (-faults). The shape checks are
 // calibrated against fault.Default() — custom plans run fine but may
-// legitimately fail -check.
+// legitimately fail -check. Plans are stateless (Decide draws from the
+// caller's rng), so concurrent points may share one safely.
+//
+//smartlint:ignore sharedstate — written only by CLI setup before any sweep runs
 var chaosPlan = fault.Default()
 
 // SetChaosFaults installs the plan the chaos experiment uses; nil
@@ -79,7 +83,12 @@ func phaseRate(samples []chaosSamplePoint, from, to sim.Time) float64 {
 // runChaos executes the family: the faulted READ run, its fault-free
 // twin, and the CAS storm, returning the derived tables followed by
 // the registry's export (counters incl. fault/*, storm trajectories).
-func runChaos(quick bool, seed int64, reg *telemetry.Registry) []result.Table {
+//
+// The family enumerates as two sweep points: the faulted run and the
+// storm share reg, so they stay in one point (execs within a point run
+// sequentially, preserving the registry's write order); the fault-free
+// twin touches no shared state and runs concurrently with them.
+func runChaos(sw *sweep.Sweeper, quick bool, seed int64, reg *telemetry.Registry) []result.Table {
 	plan := chaosPlan
 	wStart, wEnd := plan.Envelope()
 	warmup := sim.Millisecond
@@ -114,8 +123,16 @@ func runChaos(quick bool, seed int64, reg *telemetry.Registry) []result.Table {
 		return samples
 	}
 
-	faulted := run(true, reg)
-	clean := run(false, nil)
+	var faulted, clean []chaosSamplePoint
+	set := &sweep.Set{}
+	set.AddFunc("chaos/faulted+storm", 41+seed, func() {
+		faulted = run(true, reg)
+		runStorm(quick, seed, reg, plan, horizon)
+	}, nil)
+	set.AddFunc("chaos/fault-free", 41+seed, func() {
+		clean = run(false, nil)
+	}, nil)
+	sw.Run(set)
 
 	traj := result.NewTable("chaos-throughput",
 		"READ throughput trajectory through the fault window", "time")
@@ -154,8 +171,6 @@ func runChaos(quick bool, seed int64, reg *telemetry.Registry) []result.Table {
 		rec.AddLabeled("faulted", float64(i), ph.label, phaseRate(faulted, ph.from, ph.to))
 		rec.AddLabeled("fault-free", float64(i), ph.label, phaseRate(clean, ph.from, ph.to))
 	}
-
-	runStorm(quick, seed, reg, plan, horizon)
 
 	tables := []result.Table{*rec, *traj}
 	return append(tables, reg.Tables("")...)
@@ -238,12 +253,12 @@ func init() {
 	register(&Experiment{
 		ID:    "chaos",
 		Title: "Recovery under injected RNIC faults (fault window + CAS storm)",
-		Run: func(quick bool, seed int64) []result.Table {
-			return runChaos(quick, seed, telemetry.New())
+		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
+			return runChaos(sw, quick, seed, telemetry.New())
 		},
 	})
-	registerTelemetry("chaos", func(quick bool, seed int64, trace int) (*telemetry.Registry, []result.Table) {
+	registerTelemetry("chaos", func(sw *sweep.Sweeper, quick bool, seed int64, trace int) (*telemetry.Registry, []result.Table) {
 		reg := newTelemetryRegistry(trace)
-		return reg, runChaos(quick, seed, reg)
+		return reg, runChaos(sw, quick, seed, reg)
 	})
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/result"
 	"repro/internal/rnic"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/telemetry"
 )
 
@@ -69,7 +70,7 @@ func TestChaosDeterminism(t *testing.T) {
 			Quick:     true,
 			Seed:      seed,
 			Experiments: []result.Experiment{
-				{ID: "chaos", Tables: runChaos(true, seed, telemetry.New())},
+				{ID: "chaos", Tables: runChaos(sweep.New(2), true, seed, telemetry.New())},
 			},
 		}
 		var buf bytes.Buffer

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/result"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/telemetry"
 )
 
@@ -13,14 +14,29 @@ type Experiment struct {
 	ID    string
 	Title string
 	// Run executes the experiment and returns its typed tables (one
-	// per panel). quick trades sweep density for runtime (used by the
-	// testing.B wrappers and the shape-check gate); the full sweep is
-	// the CLI default. seed offsets every built-in workload seed —
-	// 0 reproduces the published numbers and the golden files.
-	Run func(quick bool, seed int64) []result.Table
+	// per panel). The body enumerates the sweep's points into a
+	// sweep.Set and executes them through sw — points run on sw's
+	// worker pool, results merge in enumeration order, so the returned
+	// tables are byte-identical for every worker count. quick trades
+	// sweep density for runtime (used by the testing.B wrappers and
+	// the shape-check gate); the full sweep is the CLI default. seed
+	// offsets every built-in workload seed — 0 reproduces the
+	// published numbers and the golden files.
+	Run func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table
 }
 
-// registry holds all experiments, keyed by ID.
+// RunSeq executes the experiment on a single worker — the historical
+// sequential semantics, and the reference the parallel goldens are
+// compared against.
+func (e *Experiment) RunSeq(quick bool, seed int64) []result.Table {
+	return e.Run(sweep.Sequential(), quick, seed)
+}
+
+// registry holds all experiments, keyed by ID. Populated only from
+// package init funcs and read-only afterwards, so concurrent sweep
+// points may look experiments up freely.
+//
+//smartlint:ignore sharedstate — written only during init, read-only while sweeps run
 var registry = map[string]*Experiment{}
 
 func register(e *Experiment) { registry[e.ID] = e }
@@ -44,14 +60,18 @@ func All() []*Experiment {
 }
 
 // TelemetryRunner executes an experiment's instrumented variant: a
-// representative run (or small sweep) with a telemetry registry
-// attached, returning the registry's exported tables. trace > 0
-// enables an event ring of that capacity on the registry.
-type TelemetryRunner func(quick bool, seed int64, trace int) (*telemetry.Registry, []result.Table)
+// representative run (or small sweep, executed through sw like the
+// base experiment) with a telemetry registry attached, returning the
+// registry's exported tables. trace > 0 enables an event ring of that
+// capacity on the registry.
+type TelemetryRunner func(sw *sweep.Sweeper, quick bool, seed int64, trace int) (*telemetry.Registry, []result.Table)
 
 // telemetryRunners is kept separate from the experiment registry so
 // registration order cannot depend on file-init order; runners are
-// looked up by experiment ID at call time.
+// looked up by experiment ID at call time. Like registry, it is
+// written only during init.
+//
+//smartlint:ignore sharedstate — written only during init, read-only while sweeps run
 var telemetryRunners = map[string]TelemetryRunner{}
 
 func registerTelemetry(id string, r TelemetryRunner) { telemetryRunners[id] = r }
@@ -72,14 +92,14 @@ func TelemetryExperiments() []string {
 	return ids
 }
 
-// RunTelemetry executes the instrumented variant of experiment id.
-// The boolean is false when the experiment has none.
-func RunTelemetry(id string, quick bool, seed int64, trace int) (*telemetry.Registry, []result.Table, bool) {
+// RunTelemetry executes the instrumented variant of experiment id on
+// sw's worker pool. The boolean is false when the experiment has none.
+func RunTelemetry(sw *sweep.Sweeper, id string, quick bool, seed int64, trace int) (*telemetry.Registry, []result.Table, bool) {
 	r := telemetryRunners[id]
 	if r == nil {
 		return nil, nil, false
 	}
-	reg, tables := r(quick, seed, trace)
+	reg, tables := r(sw, quick, seed, trace)
 	return reg, tables, true
 }
 
@@ -107,24 +127,51 @@ type quickWindowed interface {
 	setWindows(warmup, measure sim.Time)
 }
 
-// quickRun wraps an app runner so the quick-mode measurement windows
-// are applied to each point's config before it runs — the one generic
-// helper behind runHTQ, runBTQ, and runDTXQ.
+// quickRun applies the quick-mode measurement windows to a point's
+// config before running it — the one generic helper behind runHTQ,
+// runBTQ, and runDTXQ (plain functions, not package vars, so the
+// runner package holds no mutable state for sharedstate to flag).
 func quickRun[C any, PC interface {
 	quickWindowed
 	*C
-}, R any](run func(C) R) func(quick bool, cfg C) R {
-	return func(quick bool, cfg C) R {
-		PC(&cfg).setWindows(quickWindows(quick))
-		return run(cfg)
-	}
+}, R any](run func(C) R, quick bool, cfg C) R {
+	PC(&cfg).setWindows(quickWindows(quick))
+	return run(cfg)
 }
 
-var (
-	runHTQ  = quickRun[HTConfig, *HTConfig](RunHT)
-	runBTQ  = quickRun[BTConfig, *BTConfig](RunBT)
-	runDTXQ = quickRun[DTXConfig, *DTXConfig](RunDTX)
-)
+func runHTQ(quick bool, cfg HTConfig) HTResult {
+	return quickRun[HTConfig, *HTConfig](RunHT, quick, cfg)
+}
+func runBTQ(quick bool, cfg BTConfig) BTResult {
+	return quickRun[BTConfig, *BTConfig](RunBT, quick, cfg)
+}
+func runDTXQ(quick bool, cfg DTXConfig) DTXResult {
+	return quickRun[DTXConfig, *DTXConfig](RunDTX, quick, cfg)
+}
+
+// htPoint, btPoint, and dtxPoint bind quick into the config→result
+// run funcs that sweep.Add expects when enumerating app points.
+func htPoint(quick bool) func(HTConfig) HTResult {
+	return func(cfg HTConfig) HTResult { return runHTQ(quick, cfg) }
+}
+
+func btPoint(quick bool) func(BTConfig) BTResult {
+	return func(cfg BTConfig) BTResult { return runBTQ(quick, cfg) }
+}
+
+func dtxPoint(quick bool) func(DTXConfig) DTXResult {
+	return func(cfg DTXConfig) DTXResult { return runDTXQ(quick, cfg) }
+}
+
+// collect dereferences the tables accumulated during enumeration,
+// after the sweep's merges have filled them.
+func collect(ts []*result.Table) []result.Table {
+	out := make([]result.Table, len(ts))
+	for i, t := range ts {
+		out[i] = *t
+	}
+	return out
+}
 
 // usPerNs converts the sim.Time nanosecond clock into the microsecond
 // latencies the tables report.

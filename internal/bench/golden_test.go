@@ -8,27 +8,31 @@ import (
 	"testing"
 
 	"repro/internal/result"
+	"repro/internal/sweep"
 )
 
+//smartlint:ignore sharedstate — test flag, written only by the flag package before tests run
 var updateGolden = flag.Bool("update-golden", false, "rewrite the checked-in golden files")
 
 // TestFig3QuickGolden extends the same-seed determinism contract to
-// the output layer: the fig3 quick sweep, run twice with the fixed
-// built-in seed, must render to identical text, and that text must
-// match the checked-in golden byte for byte. Regenerate with
+// the output layer: the fig3 quick sweep, run sequentially and then on
+// a 4-worker pool with the fixed built-in seed, must render to
+// identical text — the sweep scheduler's merge-order guarantee made
+// concrete — and that text must match the checked-in golden byte for
+// byte. Regenerate with
 // `go test ./internal/bench -run Fig3QuickGolden -update-golden`.
 func TestFig3QuickGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a real sweep twice")
 	}
-	first := ByID("fig3").Run(true, 0)
-	second := ByID("fig3").Run(true, 0)
+	first := ByID("fig3").RunSeq(true, 0)
+	second := ByID("fig3").Run(sweep.New(4), true, 0)
 
 	var a, b bytes.Buffer
 	result.Text(&a, first)
 	result.Text(&b, second)
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
-		t.Fatalf("same seed rendered differently:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+		t.Fatalf("sequential and 4-worker sweeps rendered differently:\n--- sequential\n%s\n--- parallel\n%s", a.String(), b.String())
 	}
 
 	golden := filepath.Join("testdata", "fig3_quick.golden")

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/result"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -13,7 +14,12 @@ import (
 // verb counts, which determine every curve, are unchanged.
 const htKeys = 200_000
 
-var htMixes = []workload.Mix{workload.WriteHeavy, workload.ReadHeavy, workload.ReadOnly}
+// htMixes returns the three YCSB mixes the application figures sweep.
+// A function rather than a package var so the runner package carries
+// no shared mutable state (smartlint sharedstate).
+func htMixes() []workload.Mix {
+	return []workload.Mix{workload.WriteHeavy, workload.ReadHeavy, workload.ReadOnly}
+}
 
 // fig8Configs is the cumulative technique breakdown.
 func fig8Configs() []struct {
@@ -47,20 +53,25 @@ func init() {
 	register(&Experiment{
 		ID:    "fig5",
 		Title: "Fig. 5: RACE hash-table update performance vs threads and vs skew",
-		Run: func(quick bool, seed int64) []result.Table {
+		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
 			a := result.NewTable("fig5a", "Fig. 5a — RACE 100% updates, Zipf 0.99: MOPS / p50 / p99 vs threads (depth 8)", "threads")
 			defLatencySeries(a, "MOPS")
 			a.Def("retries/upd", "", 2)
+			set := &sweep.Set{}
 			for _, thr := range threadGrid(quick) {
-				r := runHTQ(quick, HTConfig{
-					Opts: RACEBaseline(), ThreadsPerBlade: thr,
-					Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 21 + seed,
-				})
 				x := float64(thr)
-				a.Add("MOPS", x, r.MOPS)
-				a.Add("p50", x, us(r.Median))
-				a.Add("p99", x, us(r.P99))
-				a.Add("retries/upd", x, r.AvgRetries)
+				sweep.Add(set, fmt.Sprintf("fig5a/thr=%d", thr), 21+seed,
+					HTConfig{
+						Opts: RACEBaseline(), ThreadsPerBlade: thr,
+						Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 21 + seed,
+					},
+					htPoint(quick),
+					func(r HTResult) {
+						a.Add("MOPS", x, r.MOPS)
+						a.Add("p50", x, us(r.Median))
+						a.Add("p99", x, us(r.P99))
+						a.Add("retries/upd", x, r.AvgRetries)
+					})
 			}
 
 			thetas := []float64{0, 0.5, 0.9, 0.99}
@@ -70,36 +81,47 @@ func init() {
 			b := result.NewTable("fig5b", "Fig. 5b — RACE 100% updates, 16 threads: latency vs Zipf theta", "theta")
 			defLatencySeries(b, "MOPS")
 			for _, th := range thetas {
-				r := runHTQ(quick, HTConfig{
-					Opts: RACEBaseline(), ThreadsPerBlade: 16,
-					Theta: th, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 21 + seed,
-				})
-				b.Add("MOPS", th, r.MOPS)
-				b.Add("p50", th, us(r.Median))
-				b.Add("p99", th, us(r.P99))
+				sweep.Add(set, fmt.Sprintf("fig5b/theta=%g", th), 21+seed,
+					HTConfig{
+						Opts: RACEBaseline(), ThreadsPerBlade: 16,
+						Theta: th, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 21 + seed,
+					},
+					htPoint(quick),
+					func(r HTResult) {
+						b.Add("MOPS", th, r.MOPS)
+						b.Add("p50", th, us(r.Median))
+						b.Add("p99", th, us(r.P99))
+					})
 			}
-			return []result.Table{*a, *b}
+			sw.Run(set)
+			return collect([]*result.Table{a, b})
 		},
 	})
 
 	register(&Experiment{
 		ID:    "fig7",
 		Title: "Fig. 7: hash table throughput, RACE vs SMART-HT (scale-up and scale-out)",
-		Run: func(quick bool, seed int64) []result.Table {
-			var tables []result.Table
-			for _, mix := range htMixes {
+		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
+			systems := []struct {
+				name string
+				opts core.Options
+			}{{"RACE", RACEBaseline()}, {"SMART-HT", core.Smart()}}
+			set := &sweep.Set{}
+			var tabs []*result.Table
+			for _, mix := range htMixes() {
 				t := result.NewTable("fig7-scaleup-"+mix.Name,
 					fmt.Sprintf("Fig. 7(a-c) — %s, 1 compute blade: MOPS vs threads", mix.Name), "threads")
 				t.YUnit = "MOPS"
+				tabs = append(tabs, t)
 				for _, thr := range threadGrid(quick) {
-					race := runHTQ(quick, HTConfig{Opts: RACEBaseline(), ThreadsPerBlade: thr,
-						Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 22 + seed})
-					smart := runHTQ(quick, HTConfig{Opts: core.Smart(), ThreadsPerBlade: thr,
-						Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 22 + seed})
-					t.Add("RACE", float64(thr), race.MOPS)
-					t.Add("SMART-HT", float64(thr), smart.MOPS)
+					for _, sys := range systems {
+						sweep.Add(set, fmt.Sprintf("%s/%s/thr=%d", t.ID, sys.name, thr), 22+seed,
+							HTConfig{Opts: sys.opts, ThreadsPerBlade: thr,
+								Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 22 + seed},
+							htPoint(quick),
+							func(r HTResult) { t.Add(sys.name, float64(thr), r.MOPS) })
+					}
 				}
-				tables = append(tables, *t)
 			}
 			blades := []int{1, 2, 3, 4, 5, 6}
 			threads := 96
@@ -107,56 +129,63 @@ func init() {
 				blades = []int{1, 4}
 				threads = 32
 			}
-			for _, mix := range htMixes {
+			for _, mix := range htMixes() {
 				t := result.NewTable("fig7-scaleout-"+mix.Name,
 					fmt.Sprintf("Fig. 7(d-f) — %s, %d threads/blade: MOPS vs compute blades", mix.Name, threads), "blades")
 				t.YUnit = "MOPS"
+				tabs = append(tabs, t)
 				for _, b := range blades {
-					race := runHTQ(quick, HTConfig{Opts: RACEBaseline(), ComputeBlades: b, ThreadsPerBlade: threads,
-						Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 22 + seed})
-					smart := runHTQ(quick, HTConfig{Opts: core.Smart(), ComputeBlades: b, ThreadsPerBlade: threads,
-						Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 22 + seed})
-					t.Add("RACE", float64(b), race.MOPS)
-					t.Add("SMART-HT", float64(b), smart.MOPS)
+					for _, sys := range systems {
+						sweep.Add(set, fmt.Sprintf("%s/%s/blades=%d", t.ID, sys.name, b), 22+seed,
+							HTConfig{Opts: sys.opts, ComputeBlades: b, ThreadsPerBlade: threads,
+								Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 22 + seed},
+							htPoint(quick),
+							func(r HTResult) { t.Add(sys.name, float64(b), r.MOPS) })
+					}
 				}
-				tables = append(tables, *t)
 			}
-			return tables
+			sw.Run(set)
+			return collect(tabs)
 		},
 	})
 
 	register(&Experiment{
 		ID:    "fig8",
 		Title: "Fig. 8: performance breakdown of SMART-HT's techniques",
-		Run: func(quick bool, seed int64) []result.Table {
+		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
 			configs := fig8Configs()
-			var tables []result.Table
-			for _, mix := range htMixes {
+			set := &sweep.Set{}
+			var tabs []*result.Table
+			for _, mix := range htMixes() {
 				t := result.NewTable("fig8-"+mix.Name,
 					fmt.Sprintf("Fig. 8 — %s: MOPS vs threads, cumulative techniques", mix.Name), "threads")
 				t.YUnit = "MOPS"
+				tabs = append(tabs, t)
 				for _, thr := range threadGrid(quick) {
 					for _, c := range configs {
-						r := runHTQ(quick, HTConfig{Opts: c.opts, ThreadsPerBlade: thr,
-							Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 23 + seed})
-						t.Add(c.name, float64(thr), r.MOPS)
+						sweep.Add(set, fmt.Sprintf("%s/%s/thr=%d", t.ID, c.name, thr), 23+seed,
+							HTConfig{Opts: c.opts, ThreadsPerBlade: thr,
+								Theta: 0.99, Mix: mix, Keys: htKeys, Seed: 23 + seed},
+							htPoint(quick),
+							func(r HTResult) { t.Add(c.name, float64(thr), r.MOPS) })
 					}
 				}
-				tables = append(tables, *t)
 			}
-			return tables
+			sw.Run(set)
+			return collect(tabs)
 		},
 	})
 
 	register(&Experiment{
 		ID:    "fig9",
 		Title: "Fig. 9: throughput vs latency, read-only hash table, 96 threads",
-		Run: func(quick bool, seed int64) []result.Table {
+		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
 			targets := []float64{2, 4, 8, 12, 16, 20, 0} // 0 = unthrottled
 			if quick {
 				targets = []float64{4, 12, 0}
 			}
-			var tables []result.Table
+			set := &sweep.Set{}
+			var tabs []*result.Table
 			for _, sys := range []struct {
 				name string
 				opts core.Options
@@ -165,28 +194,34 @@ func init() {
 					fmt.Sprintf("Fig. 9 — %s: achieved MOPS, p50, p99 per target", sys.name), "target")
 				t.XUnit = "MOPS"
 				defLatencySeries(t, "MOPS")
+				tabs = append(tabs, t)
 				for _, tgt := range targets {
-					r := runHTQ(quick, HTConfig{Opts: sys.opts, ThreadsPerBlade: 96,
-						Theta: 0.99, Mix: workload.ReadOnly, Keys: htKeys, Seed: 24 + seed,
-						TargetMOPS: tgt})
 					label := ""
 					if tgt == 0 {
 						label = "max"
 					}
-					t.AddLabeled("MOPS", tgt, label, r.MOPS)
-					t.AddLabeled("p50", tgt, label, us(r.Median))
-					t.AddLabeled("p99", tgt, label, us(r.P99))
+					tgt := tgt
+					sweep.Add(set, fmt.Sprintf("%s/target=%g", t.ID, tgt), 24+seed,
+						HTConfig{Opts: sys.opts, ThreadsPerBlade: 96,
+							Theta: 0.99, Mix: workload.ReadOnly, Keys: htKeys, Seed: 24 + seed,
+							TargetMOPS: tgt},
+						htPoint(quick),
+						func(r HTResult) {
+							t.AddLabeled("MOPS", tgt, label, r.MOPS)
+							t.AddLabeled("p50", tgt, label, us(r.Median))
+							t.AddLabeled("p99", tgt, label, us(r.P99))
+						})
 				}
-				tables = append(tables, *t)
 			}
-			return tables
+			sw.Run(set)
+			return collect(tabs)
 		},
 	})
 
 	register(&Experiment{
 		ID:    "fig14",
 		Title: "Fig. 14: conflict avoidance breakdown (100% updates, Zipf 0.99)",
-		Run: func(quick bool, seed int64) []result.Table {
+		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
 			noCA := core.Smart()
 			noCA.Backoff, noCA.DynamicLimit, noCA.CoroThrottle = false, false, false
 			bo := core.Smart()
@@ -208,22 +243,29 @@ func init() {
 			retries.YUnit = "retries/upd"
 			dist := result.NewTable("fig14c", "Fig. 14c — retry-count distribution at 96 threads (completed ops, %)", "retries")
 			dist.YUnit, dist.Prec = "%", 1
+			set := &sweep.Set{}
 			for _, thr := range threadGrid(quick) {
 				for _, c := range configs {
-					r := runHTQ(quick, HTConfig{Opts: c.opts, ThreadsPerBlade: thr,
-						Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 25 + seed})
-					mops.Add(c.name, float64(thr), r.MOPS)
-					retries.Add(c.name, float64(thr), r.AvgRetries)
-					if thr == 96 {
-						d := r.RetryDist
-						dist.AddLabeled(c.name, 0, "0", 100*d.Frac(0))
-						dist.AddLabeled(c.name, 1, "1", 100*d.Frac(1))
-						dist.AddLabeled(c.name, 2, "2", 100*d.Frac(2))
-						dist.AddLabeled(c.name, 3, ">=3", 100*d.FracAtLeast(3))
-					}
+					thr := thr
+					sweep.Add(set, fmt.Sprintf("fig14/%s/thr=%d", c.name, thr), 25+seed,
+						HTConfig{Opts: c.opts, ThreadsPerBlade: thr,
+							Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys, Seed: 25 + seed},
+						htPoint(quick),
+						func(r HTResult) {
+							mops.Add(c.name, float64(thr), r.MOPS)
+							retries.Add(c.name, float64(thr), r.AvgRetries)
+							if thr == 96 {
+								d := r.RetryDist
+								dist.AddLabeled(c.name, 0, "0", 100*d.Frac(0))
+								dist.AddLabeled(c.name, 1, "1", 100*d.Frac(1))
+								dist.AddLabeled(c.name, 2, "2", 100*d.Frac(2))
+								dist.AddLabeled(c.name, 3, ">=3", 100*d.FracAtLeast(3))
+							}
+						})
 				}
 			}
-			return []result.Table{*mops, *retries, *dist}
+			sw.Run(set)
+			return collect([]*result.Table{mops, retries, dist})
 		},
 	})
 }

@@ -8,49 +8,59 @@ import (
 	"repro/internal/result"
 	"repro/internal/rnic"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
-// fig3Policies are the four QP-allocation contenders of §3.1.
-var fig3Policies = []struct {
+// fig3Policies returns the four QP-allocation contenders of §3.1. A
+// function rather than a package var so the runner package carries no
+// shared state between concurrently executing sweep points.
+func fig3Policies() []struct {
 	name string
 	opts core.Options
-}{
-	{"shared-qp", core.Baseline(core.SharedQP)},
-	{"multiplexed-qp(q=4)", core.Baseline(core.MultiplexedQP)},
-	{"per-thread-qp", core.Baseline(core.PerThreadQP)},
-	{"per-thread-doorbell", core.Baseline(core.PerThreadDoorbell)},
+} {
+	return []struct {
+		name string
+		opts core.Options
+	}{
+		{"shared-qp", core.Baseline(core.SharedQP)},
+		{"multiplexed-qp(q=4)", core.Baseline(core.MultiplexedQP)},
+		{"per-thread-qp", core.Baseline(core.PerThreadQP)},
+		{"per-thread-doorbell", core.Baseline(core.PerThreadDoorbell)},
+	}
 }
 
 func init() {
 	register(&Experiment{
 		ID:    "fig3",
 		Title: "Fig. 3: throughput of 8-byte READ/WRITE under different QP allocation policies (depth 8)",
-		Run: func(quick bool, seed int64) []result.Table {
-			var tables []result.Table
+		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
+			set := &sweep.Set{}
+			var tabs []*result.Table
 			for _, op := range []rnic.OpKind{rnic.OpRead, rnic.OpWrite} {
 				t := result.NewTable(
 					"fig3-"+strings.ToLower(op.String()),
 					fmt.Sprintf("Fig. 3 — 8-byte %s, MOPS vs threads", op),
 					"threads")
 				t.YUnit, t.Prec = "MOPS", 1
+				tabs = append(tabs, t)
 				for _, thr := range threadGrid(quick) {
-					for _, p := range fig3Policies {
-						r := RunMicro(MicroConfig{
-							Opts: p.opts, Threads: thr, Batch: 8, Op: op, Seed: 11 + seed,
-						})
-						t.Add(p.name, float64(thr), r.MOPS)
+					for _, p := range fig3Policies() {
+						sweep.Add(set, fmt.Sprintf("%s/%s/thr=%d", t.ID, p.name, thr), 11+seed,
+							MicroConfig{Opts: p.opts, Threads: thr, Batch: 8, Op: op, Seed: 11 + seed},
+							RunMicro,
+							func(r MicroResult) { t.Add(p.name, float64(thr), r.MOPS) })
 					}
 				}
-				tables = append(tables, *t)
 			}
-			return tables
+			sw.Run(set)
+			return collect(tabs)
 		},
 	})
 
 	register(&Experiment{
 		ID:    "fig4",
 		Title: "Fig. 4: throughput and DRAM traffic vs thread count x outstanding work requests",
-		Run: func(quick bool, seed int64) []result.Table {
+		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
 			threads := []int{16, 36, 64, 96}
 			owrs := []int{1, 2, 4, 8, 16, 32, 64}
 			if quick {
@@ -61,25 +71,31 @@ func init() {
 			mops.YUnit, mops.Prec = "MOPS", 1
 			dma := result.NewTable("fig4b", "Fig. 4b — DRAM bytes per work request", "threads")
 			dma.YUnit, dma.Prec = "B/WR", 0
+			set := &sweep.Set{}
 			for _, t := range threads {
 				for _, o := range owrs {
-					r := RunMicro(MicroConfig{
-						Opts:    core.Baseline(core.PerThreadDoorbell),
-						Threads: t, Batch: o, Op: rnic.OpRead, Seed: 12 + seed,
-					})
 					col := fmt.Sprintf("owr=%d", o)
-					mops.Add(col, float64(t), r.MOPS)
-					dma.Add(col, float64(t), r.DMABytesPerWR)
+					sweep.Add(set, fmt.Sprintf("thr=%d/%s", t, col), 12+seed,
+						MicroConfig{
+							Opts:    core.Baseline(core.PerThreadDoorbell),
+							Threads: t, Batch: o, Op: rnic.OpRead, Seed: 12 + seed,
+						},
+						RunMicro,
+						func(r MicroResult) {
+							mops.Add(col, float64(t), r.MOPS)
+							dma.Add(col, float64(t), r.DMABytesPerWR)
+						})
 				}
 			}
-			return []result.Table{*mops, *dma}
+			sw.Run(set)
+			return collect([]*result.Table{mops, dma})
 		},
 	})
 
 	register(&Experiment{
 		ID:    "fig13",
 		Title: "Fig. 13: SMART's allocation and throttling techniques in the micro-benchmark",
-		Run: func(quick bool, seed int64) []result.Table {
+		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
 			throttled := core.Baseline(core.PerThreadDoorbell)
 			throttled.WorkReqThrottle = true
 			throttled.UpdateDelta = 400 * sim.Microsecond
@@ -94,10 +110,13 @@ func init() {
 			}
 			byThr := result.NewTable("fig13a", "Fig. 13a — 8-byte READ MOPS vs threads (batch 16)", "threads")
 			byThr.YUnit, byThr.Prec = "MOPS", 1
+			set := &sweep.Set{}
 			for _, thr := range threadGrid(quick) {
 				for _, c := range configs {
-					r := RunMicro(MicroConfig{Opts: c.opts, Threads: thr, Batch: 16, Op: rnic.OpRead, Seed: 13 + seed})
-					byThr.Add(c.name, float64(thr), r.MOPS)
+					sweep.Add(set, fmt.Sprintf("fig13a/%s/thr=%d", c.name, thr), 13+seed,
+						MicroConfig{Opts: c.opts, Threads: thr, Batch: 16, Op: rnic.OpRead, Seed: 13 + seed},
+						RunMicro,
+						func(r MicroResult) { byThr.Add(c.name, float64(thr), r.MOPS) })
 				}
 			}
 
@@ -109,18 +128,21 @@ func init() {
 			byBatch.YUnit, byBatch.Prec = "MOPS", 1
 			for _, b := range batches {
 				for _, c := range configs {
-					r := RunMicro(MicroConfig{Opts: c.opts, Threads: 96, Batch: b, Op: rnic.OpRead, Seed: 13 + seed})
-					byBatch.Add(c.name, float64(b), r.MOPS)
+					sweep.Add(set, fmt.Sprintf("fig13b/%s/batch=%d", c.name, b), 13+seed,
+						MicroConfig{Opts: c.opts, Threads: 96, Batch: b, Op: rnic.OpRead, Seed: 13 + seed},
+						RunMicro,
+						func(r MicroResult) { byBatch.Add(c.name, float64(b), r.MOPS) })
 				}
 			}
-			return []result.Table{*byThr, *byBatch}
+			sw.Run(set)
+			return collect([]*result.Table{byThr, byBatch})
 		},
 	})
 
 	register(&Experiment{
 		ID:    "tab1",
 		Title: "Table 1: 8-byte READ MOPS under dynamically changing thread counts (batch 64)",
-		Run: func(quick bool, seed int64) []result.Table {
+		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
 			// Time-scale substitution: the paper's epoch is 512 ms
 			// against changing intervals of 32–2048 ms; we scale both
 			// by 1/16 (epoch ≈ 16 ms within reach of simulation) and
@@ -142,6 +164,7 @@ func init() {
 
 			t := result.NewTable("tab1", "Table 1 — MOPS vs changing interval (paper-equivalent ms)", "interval")
 			t.XUnit, t.YUnit, t.Prec = "paper ms", "MOPS", 1
+			set := &sweep.Set{}
 			for _, row := range []struct {
 				name string
 				opts core.Options
@@ -157,15 +180,18 @@ func init() {
 					if measure < 16*sim.Millisecond {
 						measure = 16 * sim.Millisecond
 					}
-					r := RunMicro(MicroConfig{
-						Opts: row.opts, Threads: 96, Batch: 64, Op: rnic.OpRead,
-						Seed: 14 + seed, Measure: measure, Warmup: 2 * sim.Millisecond,
-						DynamicInterval: iv, DynamicMin: 36,
-					})
-					t.Add(row.name, float64(paperMS[i]), r.MOPS)
+					sweep.Add(set, fmt.Sprintf("%s/interval=%dms", strings.TrimSpace(row.name), paperMS[i]), 14+seed,
+						MicroConfig{
+							Opts: row.opts, Threads: 96, Batch: 64, Op: rnic.OpRead,
+							Seed: 14 + seed, Measure: measure, Warmup: 2 * sim.Millisecond,
+							DynamicInterval: iv, DynamicMin: 36,
+						},
+						RunMicro,
+						func(r MicroResult) { t.Add(row.name, float64(paperMS[i]), r.MOPS) })
 				}
 			}
-			return []result.Table{*t}
+			sw.Run(set)
+			return collect([]*result.Table{t})
 		},
 	})
 }

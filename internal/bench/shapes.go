@@ -125,6 +125,7 @@ func ratio(what string, got, base, factor float64) (string, bool) {
 		got >= factor*base
 }
 
+//smartlint:ignore sharedstate — initialized once at package load, read-only afterwards
 var shapeChecks = []shapeCheck{
 	// Fig. 3 — QP allocation policies (§3.1).
 	{"fig3", "fig3/doorbell-beats-per-thread-qp", func(v *tv) (string, bool) {
@@ -388,6 +389,8 @@ var shapeChecks = []shapeCheck{
 // same experiment IDs but checked against telemetry tables — so the
 // experiment-side registry invariants (every Check ID is a registered
 // experiment, counted exactly once) stay intact.
+//
+//smartlint:ignore sharedstate — initialized once at package load, read-only afterwards
 var telemetryShapeChecks = []shapeCheck{
 	{"fig3", "telemetry/fig3/contention-grows-with-thread-db-ratio", func(v *tv) (string, bool) {
 		// §4.1: with the driver's 12 medium doorbells, the fraction of

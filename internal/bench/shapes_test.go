@@ -6,15 +6,19 @@ import (
 	"testing"
 
 	"repro/internal/result"
+	"repro/internal/sweep"
 )
 
 // TestShapesQuick is the regression gate behind EXPERIMENTS.md: it
-// runs the quick sweeps and asserts that every encoded qualitative
-// outcome of the paper still holds. The two most expensive sweeps
-// (fig8 ≈6 CPU-minutes, tab1 ≈3) would push the package past go
+// runs the quick sweeps — on a GOMAXPROCS-wide sweeper, both to cut
+// wall-clock on multi-core runners and to exercise the parallel
+// scheduler in the tier-1 suite — and asserts that every encoded
+// qualitative outcome of the paper still holds. The two most expensive
+// sweeps (fig8 ≈6 CPU-minutes, tab1 ≈3) would push the package past go
 // test's default 10-minute binary timeout on a single core, so they
-// only run when SMART_SHAPES_ALL is set; CI's dedicated gate
-// (`smartbench -exp all -quick -check`) always covers all six.
+// only run when SMART_SHAPES_ALL is set; CI's dedicated gates
+// (`smartbench -exp all -quick -check` and the full-shapes job) cover
+// all of them.
 func TestShapesQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real quick sweeps")
@@ -30,7 +34,7 @@ func TestShapesQuick(t *testing.T) {
 			if e == nil {
 				t.Fatalf("experiment %q not registered", id)
 			}
-			tables := e.Run(true, 0)
+			tables := e.Run(sweep.New(0), true, 0)
 			for _, v := range Check(id, tables) {
 				t.Errorf("shape violation %s: %s", v.Check, v.Detail)
 			}

@@ -1,10 +1,13 @@
 package bench
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/result"
 	"repro/internal/rnic"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -22,7 +25,9 @@ import (
 //     γ; the instrumented run records all three trajectories.
 //
 // Runners are deterministic end to end: same (quick, seed) inputs
-// produce byte-identical telemetry documents.
+// produce byte-identical telemetry documents at any worker count —
+// every sweep point harvests into its own registry (per-point
+// isolation), and the shared groups are recorded only inside merges.
 
 func newTelemetryRegistry(trace int) *telemetry.Registry {
 	reg := telemetry.New()
@@ -33,7 +38,7 @@ func newTelemetryRegistry(trace int) *telemetry.Registry {
 }
 
 func init() {
-	registerTelemetry("fig3", func(quick bool, seed int64, trace int) (*telemetry.Registry, []result.Table) {
+	registerTelemetry("fig3", func(sw *sweep.Sweeper, quick bool, seed int64, trace int) (*telemetry.Registry, []result.Table) {
 		reg := newTelemetryRegistry(trace)
 		grid := threadGrid(quick)
 		cg := reg.Group("db-contention",
@@ -49,34 +54,44 @@ func init() {
 			{"per-thread-doorbell", core.Baseline(core.PerThreadDoorbell)},
 		}
 		last := grid[len(grid)-1]
+		set := &sweep.Set{}
 		for _, thr := range grid {
 			for _, p := range policies {
 				// Each sweep point harvests into a throwaway probe; the
 				// heaviest contended point (per-thread-qp at the top of
 				// the grid) doubles as the representative run whose full
 				// counter set and trace land in the returned registry.
+				// Only that one point writes reg during exec, so probes
+				// keep concurrent points isolated; the shared cg/raw
+				// groups are recorded in the merge, on the caller's
+				// goroutine, in enumeration order.
 				probe := telemetry.New()
 				if thr == last && p.opts.Policy == core.PerThreadQP {
 					probe = reg
 				}
-				RunMicro(MicroConfig{
-					Opts: p.opts, Threads: thr, Batch: 8, Op: rnic.OpRead,
-					Seed: 11 + seed, Telemetry: probe,
-				})
-				acq := probe.Value("db/acquisitions-total")
-				cont := probe.Value("db/contended-total")
-				frac := 0.0
-				if acq > 0 {
-					frac = float64(cont) / float64(acq)
-				}
-				cg.SeriesDef(p.name, "", 3).Record(float64(thr), frac)
-				raw.Series(p.name).Record(float64(thr), float64(cont))
+				sweep.Add(set, fmt.Sprintf("fig3-telemetry/%s/thr=%d", p.name, thr), 11+seed,
+					MicroConfig{
+						Opts: p.opts, Threads: thr, Batch: 8, Op: rnic.OpRead,
+						Seed: 11 + seed, Telemetry: probe,
+					},
+					RunMicro,
+					func(MicroResult) {
+						acq := probe.Value("db/acquisitions-total")
+						cont := probe.Value("db/contended-total")
+						frac := 0.0
+						if acq > 0 {
+							frac = float64(cont) / float64(acq)
+						}
+						cg.SeriesDef(p.name, "", 3).Record(float64(thr), frac)
+						raw.Series(p.name).Record(float64(thr), float64(cont))
+					})
 			}
 		}
+		sw.Run(set)
 		return reg, reg.Tables("")
 	})
 
-	registerTelemetry("fig13", func(quick bool, seed int64, trace int) (*telemetry.Registry, []result.Table) {
+	registerTelemetry("fig13", func(sw *sweep.Sweeper, quick bool, seed int64, trace int) (*telemetry.Registry, []result.Table) {
 		// One representative throttled run at the top thread count: the
 		// point of the instrumented variant is Algorithm 1's C_max
 		// trajectory, which the throughput table cannot show.
@@ -84,22 +99,31 @@ func init() {
 		throttled := core.Baseline(core.PerThreadDoorbell)
 		throttled.WorkReqThrottle = true
 		throttled.UpdateDelta = 400 * sim.Microsecond
-		RunMicro(MicroConfig{
-			Opts: throttled, Threads: 96, Batch: 16, Op: rnic.OpRead,
-			Seed: 13 + seed, Telemetry: reg,
-		})
+		set := &sweep.Set{}
+		sweep.Add(set, "fig13-telemetry/thr=96", 13+seed,
+			MicroConfig{
+				Opts: throttled, Threads: 96, Batch: 16, Op: rnic.OpRead,
+				Seed: 13 + seed, Telemetry: reg,
+			},
+			RunMicro, nil)
+		sw.Run(set)
 		return reg, reg.Tables("")
 	})
 
-	registerTelemetry("fig14", func(quick bool, seed int64, trace int) (*telemetry.Registry, []result.Table) {
+	registerTelemetry("fig14", func(sw *sweep.Sweeper, quick bool, seed int64, trace int) (*telemetry.Registry, []result.Table) {
 		// Full conflict-avoidance stack under the contended update-only
 		// workload: records γ samples and the c_max/t_max responses.
 		reg := newTelemetryRegistry(trace)
-		runHTQ(quick, HTConfig{
-			Opts: core.Smart(), ThreadsPerBlade: 96,
-			Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys,
-			Seed: 25 + seed, Telemetry: reg,
-		})
+		set := &sweep.Set{}
+		sweep.Add(set, "fig14-telemetry/thr=96", 25+seed,
+			HTConfig{
+				Opts: core.Smart(), ThreadsPerBlade: 96,
+				Theta: 0.99, Mix: workload.UpdateOnly, Keys: htKeys,
+				Seed: 25 + seed, Telemetry: reg,
+			},
+			htPoint(quick),
+			nil)
+		sw.Run(set)
 		return reg, reg.Tables("")
 	})
 }

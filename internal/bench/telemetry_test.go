@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/result"
+	"repro/internal/sweep"
 )
 
 // telemetryDoc wraps an instrumented run's tables the way smartbench
@@ -41,24 +42,25 @@ func TestTelemetryRegistry(t *testing.T) {
 	if HasTelemetry("fig4") {
 		t.Error("fig4 should not have an instrumented variant")
 	}
-	if _, _, ok := RunTelemetry("no-such-exp", true, 0, 0); ok {
+	if _, _, ok := RunTelemetry(sweep.Sequential(), "no-such-exp", true, 0, 0); ok {
 		t.Error("RunTelemetry for an unknown ID reported ok")
 	}
 }
 
 // TestTelemetryDeterminism is the same-seed contract on the telemetry
-// layer: the instrumented fig13 run, executed twice with the same seed
-// and a trace ring attached, must render to byte-identical JSON and
-// emit the same number of trace events.
+// layer: the instrumented fig13 run, executed sequentially and then on
+// a 4-worker pool with the same seed and a trace ring attached, must
+// render to byte-identical JSON and emit the same number of trace
+// events.
 func TestTelemetryDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs an instrumented 96-thread run twice")
 	}
-	reg1, tables1, ok := RunTelemetry("fig13", true, 0, 32)
+	reg1, tables1, ok := RunTelemetry(sweep.Sequential(), "fig13", true, 0, 32)
 	if !ok {
 		t.Fatal("fig13 has no telemetry runner")
 	}
-	reg2, tables2, _ := RunTelemetry("fig13", true, 0, 32)
+	reg2, tables2, _ := RunTelemetry(sweep.New(4), "fig13", true, 0, 32)
 
 	var j1, j2 bytes.Buffer
 	if err := result.JSON(&j1, telemetryDoc("fig13", tables1)); err != nil {
@@ -68,7 +70,7 @@ func TestTelemetryDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
-		t.Fatalf("same seed rendered different telemetry:\n--- first\n%s\n--- second\n%s", j1.String(), j2.String())
+		t.Fatalf("sequential and 4-worker runs rendered different telemetry:\n--- sequential\n%s\n--- parallel\n%s", j1.String(), j2.String())
 	}
 	if a, b := reg1.Trace().Total(), reg2.Trace().Total(); a != b {
 		t.Errorf("trace event totals differ: %d vs %d", a, b)
@@ -86,7 +88,7 @@ func TestTelemetryGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs an instrumented 96-thread run")
 	}
-	_, tables, ok := RunTelemetry("fig13", true, 0, 0)
+	_, tables, ok := RunTelemetry(sweep.Sequential(), "fig13", true, 0, 0)
 	if !ok {
 		t.Fatal("fig13 has no telemetry runner")
 	}
@@ -124,9 +126,10 @@ func TestTelemetryGolden(t *testing.T) {
 	}
 }
 
-// TestTelemetryShapes runs every instrumented variant in quick mode
-// and asserts its telemetry shape predicates — the CI gate's in-repo
-// equivalent.
+// TestTelemetryShapes runs every instrumented variant in quick mode —
+// on a parallel sweeper, so the probe-registry isolation is exercised
+// under -race — and asserts its telemetry shape predicates, the CI
+// gate's in-repo equivalent.
 func TestTelemetryShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs full instrumented sweeps")
@@ -134,7 +137,7 @@ func TestTelemetryShapes(t *testing.T) {
 	for _, id := range TelemetryExperiments() {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			_, tables, ok := RunTelemetry(id, true, 0, 0)
+			_, tables, ok := RunTelemetry(sweep.New(0), id, true, 0, 0)
 			if !ok {
 				t.Fatalf("%s has no telemetry runner", id)
 			}

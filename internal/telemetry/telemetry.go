@@ -14,6 +14,16 @@
 // Snapshots export through the internal/result table schema
 // (Registry.Tables), so telemetry rides the existing text and JSON
 // renderers and the shape-check machinery for free.
+//
+// A Registry is deliberately not synchronized: the sweep scheduler
+// (internal/sweep) runs experiment points concurrently, and the
+// isolation rule is one registry per point — a point's run func writes
+// only the registry it owns, and per-blade prefixes (TelemetryPrefix)
+// namespace collectors *within* one point, never across points. When a
+// family of runs must share a registry (the chaos faulted run and its
+// CAS storm), those runs belong to a single point so their writes stay
+// sequential. TestRegistryPerPointIsolation and the parallel bench
+// sweeps under -race audit this contract.
 package telemetry
 
 import "repro/internal/result"

@@ -2,6 +2,8 @@ package telemetry
 
 import (
 	"bytes"
+	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/result"
@@ -198,5 +200,61 @@ func TestNilRegistrySafety(t *testing.T) {
 	r2.Emit(2*sim.Nanosecond, "b", "")
 	if tr.Total() != 1 {
 		t.Errorf("Total = %d, want 1 (pre-enable emit dropped)", tr.Total())
+	}
+}
+
+// TestRegistryPerPointIsolation is the sweep scheduler's telemetry
+// contract made concrete: N registries written concurrently — one per
+// goroutine, the way each sweep point owns exactly one registry — must
+// export the same bytes as the same writes applied sequentially. The
+// registry itself is unsynchronized on purpose; run under -race this
+// test proves the one-registry-per-point discipline needs no locks,
+// and that per-blade prefixes namespace collectors within a point
+// without touching any cross-registry state.
+func TestRegistryPerPointIsolation(t *testing.T) {
+	fill := func(r *Registry, point int) {
+		pre := fmt.Sprintf("b%d/", point%3)
+		r.Counter(pre + "ops").Add(uint64(100 + point))
+		r.Counter(pre + "retries").Add(uint64(point))
+		g := r.Group("traj", "trajectory", "t")
+		for x := 0; x < 4; x++ {
+			g.Series("v").Record(float64(x), float64(point*10+x))
+		}
+		r.Emit(sim.Time(point)*sim.Microsecond, "op-end", pre)
+	}
+	render := func(r *Registry) string {
+		var buf bytes.Buffer
+		result.Text(&buf, r.Tables(""))
+		return buf.String()
+	}
+
+	const points = 16
+	seq := make([]string, points)
+	for i := 0; i < points; i++ {
+		r := New()
+		r.EnableTrace(8)
+		fill(r, i)
+		seq[i] = render(r)
+	}
+
+	regs := make([]*Registry, points)
+	var wg sync.WaitGroup
+	for i := 0; i < points; i++ {
+		regs[i] = New()
+		regs[i].EnableTrace(8)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fill(regs[i], i)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < points; i++ {
+		if got := render(regs[i]); got != seq[i] {
+			t.Errorf("point %d: concurrent fill exported different bytes:\n--- sequential\n%s\n--- concurrent\n%s", i, seq[i], got)
+		}
+		if n := regs[i].Trace().Total(); n != 1 {
+			t.Errorf("point %d: trace total = %d, want 1", i, n)
+		}
 	}
 }
