@@ -1,113 +1,225 @@
-// Smartlint is the determinism linter for this reproduction: a
-// multichecker that runs the five custom analyzers from
-// internal/analysis (nowallclock, seededrand, maporder, simtime,
-// sharedstate) over the module, plus a selected set of `go vet` passes. Every number
-// the reproduction reports depends on the discrete-event engine being
-// bit-for-bit deterministic under a fixed seed; these rules machine-
-// check the invariants that keep it that way.
+// Smartlint is the contract linter for this reproduction: a
+// multichecker that runs the eight custom analyzers from
+// internal/analysis over the module, plus a selected set of `go vet`
+// passes. Every number the reproduction reports depends on the
+// discrete-event engine being bit-for-bit deterministic under a fixed
+// seed and on the concurrency/fault contracts around it; these rules
+// machine-check the invariants that keep it that way:
+//
+//	nowallclock    no wall-clock time sources inside simulation code
+//	seededrand     no unseeded or global randomness
+//	maporder       no map-iteration order leaking into simulation state
+//	simtime        no real sleeps/timeouts where simulated time exists
+//	sharedstate    no unsynchronized writes to per-run shared state
+//	pointisolation sweep run closures touch only point-owned state
+//	cqestatus      completion payloads consumed only after a status check
+//	ignoreaudit    every ignore directive is named, reasoned, and live
 //
 // Usage:
 //
-//	go run ./cmd/smartlint [-tests=false] [-vet=false] [packages]
+//	go run ./cmd/smartlint [flags] [packages]
 //
-// with ./... as the default package pattern. The exit status is
-// nonzero if any analyzer reports a diagnostic or a vet pass fails.
+// with ./... as the default package pattern. Flags:
+//
+//	-tests=false          skip _test.go files
+//	-vet=false            skip the go vet passes
+//	-list                 list the analyzers and exit
+//	-format text|json     diagnostic output format (default text)
+//	-baseline FILE        adopt pre-existing diagnostics from FILE;
+//	                      a missing file is an empty baseline
+//	-write-baseline       rewrite the -baseline file from this run's
+//	                      diagnostics and exit 0
+//
+// The exit status is 1 if any non-baselined diagnostic is reported or
+// a vet pass fails, 2 if the module cannot be loaded, 0 otherwise.
 // Individual findings can be suppressed with a
-// `//smartlint:ignore <analyzer>` comment on, or directly above, the
-// flagged line.
+// `//smartlint:ignore <analyzer> — <reason>` comment on, or directly
+// above, the flagged line; the ignoreaudit analyzer holds those
+// directives to that form.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
 
+	"repro/internal/analysis/cqestatus"
 	"repro/internal/analysis/framework"
+	"repro/internal/analysis/ignoreaudit"
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/nowallclock"
+	"repro/internal/analysis/pointisolation"
 	"repro/internal/analysis/seededrand"
 	"repro/internal/analysis/sharedstate"
 	"repro/internal/analysis/simtime"
 )
 
-// analyzers is the smartlint suite, in reporting order.
-var analyzers = []*framework.Analyzer{
-	nowallclock.Analyzer,
-	seededrand.Analyzer,
-	maporder.Analyzer,
-	simtime.Analyzer,
-	sharedstate.Analyzer,
+// suite is the smartlint analyzer set, in reporting order; the
+// framework runs ignoreaudit last, over the other analyzers'
+// suppression accounting.
+var suite = &framework.Suite{
+	Analyzers: []*framework.Analyzer{
+		nowallclock.Analyzer,
+		seededrand.Analyzer,
+		maporder.Analyzer,
+		simtime.Analyzer,
+		sharedstate.Analyzer,
+		pointisolation.Analyzer,
+		cqestatus.Analyzer,
+		ignoreaudit.Analyzer,
+	},
 }
 
 // vetPasses are the stock `go vet` analyzers worth running alongside
-// the determinism suite (the full vet set runs as its own CI step).
+// the contract suite (the full vet set runs as its own CI step).
 var vetPasses = []string{"-printf", "-copylocks", "-atomic", "-unreachable", "-bools"}
 
 func main() {
-	tests := flag.Bool("tests", true, "also analyze _test.go files")
-	vet := flag.Bool("vet", true, "also run selected go vet passes")
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: smartlint [flags] [package pattern ...]\n\n")
-		flag.PrintDefaults()
-		fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
-		for _, a := range analyzers {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+	os.Exit(run(".", os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+// run is the whole command, parameterized for tests: dir is the
+// module directory, and the returned int is the exit status.
+func run(dir string, stdout, stderr io.Writer, argv []string) int {
+	fs := flag.NewFlagSet("smartlint", flag.ExitOnError)
+	fs.SetOutput(stderr)
+	tests := fs.Bool("tests", true, "also analyze _test.go files")
+	vet := fs.Bool("vet", true, "also run selected go vet passes")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	format := fs.String("format", "text", "diagnostic output format: text or json")
+	baselinePath := fs.String("baseline", "", "baseline `file` adopting pre-existing diagnostics (missing file = empty baseline)")
+	writeBaseline := fs.Bool("write-baseline", false, "rewrite the -baseline file from this run's diagnostics and exit 0")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: smartlint [flags] [package pattern ...]\n\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, "\nanalyzers:\n")
+		for _, a := range suite.Analyzers {
+			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name, a.Doc)
 		}
 	}
-	flag.Parse()
+	fs.Parse(argv)
+
 	if *list {
-		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		for _, a := range suite.Analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "smartlint: unknown -format %q (want text or json)\n", *format)
+		return 2
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(stderr, "smartlint: -write-baseline requires -baseline")
+		return 2
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
-	pkgs, err := framework.LoadModule(".", *tests, patterns...)
+	pkgs, err := framework.LoadModule(dir, *tests, patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "smartlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "smartlint:", err)
+		return 2
 	}
 
-	wd, _ := os.Getwd()
-	failed := false
+	var findings []framework.Finding
 	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			diags, err := framework.RunAnalyzer(a, pkg)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "smartlint:", err)
-				os.Exit(2)
+		diags, err := suite.Run(pkg)
+		if err != nil {
+			fmt.Fprintln(stderr, "smartlint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			name := pos.Filename
+			if rel, err := filepath.Rel(dir, name); err == nil {
+				name = rel
 			}
-			for _, d := range diags {
-				failed = true
-				pos := pkg.Fset.Position(d.Pos)
-				name := pos.Filename
-				if rel, err := filepath.Rel(wd, name); err == nil {
-					name = rel
-				}
-				fmt.Printf("%s:%d:%d: %s: %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
-			}
+			findings = append(findings, framework.Finding{
+				Analyzer: d.Analyzer,
+				File:     filepath.ToSlash(name),
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Message:  d.Message,
+			})
 		}
 	}
 
+	if *writeBaseline {
+		if err := framework.WriteBaseline(filepath.Join(dir, *baselinePath), findings); err != nil {
+			fmt.Fprintln(stderr, "smartlint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "smartlint: baseline %s adopted %d diagnostic(s)\n", *baselinePath, len(findings))
+		return 0
+	}
+
+	if *baselinePath != "" {
+		baseline, err := framework.LoadBaseline(filepath.Join(dir, *baselinePath))
+		if err != nil {
+			fmt.Fprintln(stderr, "smartlint:", err)
+			return 2
+		}
+		for i := range findings {
+			findings[i].Baselined = baseline.Match(findings[i])
+		}
+	}
+
+	// Vet output goes to stderr in both formats so stdout carries
+	// nothing but the findings (text) or the report (json).
+	vetStatus := "skipped"
 	if *vet {
+		vetStatus = "ok"
 		args := append(append([]string{"vet"}, vetPasses...), patterns...)
 		cmd := exec.Command("go", args...)
-		cmd.Stdout = os.Stdout
-		cmd.Stderr = os.Stderr
+		cmd.Dir = dir
+		cmd.Stdout = stderr
+		cmd.Stderr = stderr
 		if err := cmd.Run(); err != nil {
-			failed = true
+			vetStatus = "failed"
 		}
 	}
 
-	if failed {
-		os.Exit(1)
+	report := framework.NewReport(suite.Names(), findings, vetStatus)
+	switch *format {
+	case "text":
+		for _, f := range report.Findings {
+			if f.Baselined {
+				fmt.Fprintf(stdout, "%s (baselined)\n", f)
+			} else {
+				fmt.Fprintln(stdout, f)
+			}
+		}
+	case "json":
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "smartlint:", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(data))
 	}
+
+	// Distinct summaries: "which gate failed" must be readable off
+	// stderr alone.
+	failed := false
+	if report.Summary.Fresh > 0 {
+		failed = true
+		fmt.Fprintf(stderr, "smartlint: %d diagnostic(s): %d fresh, %d baselined\n",
+			report.Summary.Total, report.Summary.Fresh, report.Summary.Baselined)
+	}
+	if vetStatus == "failed" {
+		failed = true
+		fmt.Fprintln(stderr, "smartlint: go vet failed (see output above)")
+	}
+	if failed {
+		return 1
+	}
+	return 0
 }

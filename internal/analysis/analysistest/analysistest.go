@@ -53,21 +53,38 @@ func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) {
 	mu.Lock()
 	defer mu.Unlock()
 	for _, pkg := range pkgs {
-		runOne(t, testdata, a, pkg)
+		runOne(t, testdata, a.Name, pkg, func(p *framework.Package) ([]framework.Diagnostic, error) {
+			return framework.RunAnalyzer(a, p)
+		})
 	}
 }
 
-func runOne(t *testing.T, testdata string, a *framework.Analyzer, pkgPath string) {
+// RunSuite is Run for a whole framework.Suite: fixtures see the merged
+// diagnostics of every analyzer in the suite, sharing one suppression
+// accounting — the only way to exercise audit analyzers like
+// ignoreaudit, whose findings depend on what the rest of the suite
+// suppressed.
+func RunSuite(t *testing.T, testdata string, suite *framework.Suite, pkgs ...string) {
+	t.Helper()
+	mu.Lock()
+	defer mu.Unlock()
+	name := strings.Join(suite.Names(), "+")
+	for _, pkg := range pkgs {
+		runOne(t, testdata, name, pkg, suite.Run)
+	}
+}
+
+func runOne(t *testing.T, testdata, name, pkgPath string, run func(*framework.Package) ([]framework.Diagnostic, error)) {
 	t.Helper()
 	imp := &fixtureImporter{testdata: testdata}
 	pkg, err := imp.load(pkgPath)
 	if err != nil {
-		t.Errorf("%s: loading fixture %s: %v", a.Name, pkgPath, err)
+		t.Errorf("%s: loading fixture %s: %v", name, pkgPath, err)
 		return
 	}
-	diags, err := framework.RunAnalyzer(a, pkg)
+	diags, err := run(pkg)
 	if err != nil {
-		t.Errorf("%s: %v", a.Name, err)
+		t.Errorf("%s: %v", name, err)
 		return
 	}
 
@@ -100,7 +117,7 @@ func runOne(t *testing.T, testdata string, a *framework.Analyzer, pkgPath string
 			}
 		}
 		if !matched {
-			t.Errorf("%s: unexpected diagnostic: %s: %s", a.Name, pos, d.Message)
+			t.Errorf("%s: unexpected diagnostic: %s: %s", name, pos, d.Message)
 		}
 	}
 	var leftover []string
@@ -112,16 +129,23 @@ func runOne(t *testing.T, testdata string, a *framework.Analyzer, pkgPath string
 	}
 	sort.Strings(leftover)
 	for _, miss := range leftover {
-		t.Errorf("%s: %s", a.Name, miss)
+		t.Errorf("%s: %s", name, miss)
 	}
 }
 
 // wantPatterns extracts the quoted regexps from a `// want ...`
-// comment, or nil if the comment is not an expectation.
+// comment, or nil if the comment is not an expectation. The marker may
+// also appear mid-comment (`//smartlint:ignore ... // want "..."`) so
+// fixtures can state expectations for diagnostics reported on a
+// directive's own line.
 func wantPatterns(t *testing.T, pos token.Position, text string) []*regexp.Regexp {
 	t.Helper()
-	rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "want ")
-	if !ok {
+	var rest string
+	if r, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "want "); ok {
+		rest = r
+	} else if i := strings.Index(text, "// want "); i >= 0 {
+		rest = text[i+len("// want "):]
+	} else {
 		return nil
 	}
 	var pats []*regexp.Regexp

@@ -1,0 +1,155 @@
+// Package cqestatus defines a smartlint analyzer that keeps the fault
+// model honest at every consumer: code that reads a work request's
+// completion payload (the Result field of a verbs.WR, directly or
+// through a CQE) without first checking the completion's Status treats
+// an injected error — a watchdog timeout, a CAS-storm remote access
+// error, a retransmit-ladder delay that expired — as a success. The
+// zero Status is success precisely so pre-fault-model code kept
+// compiling; this rule is what stops *new* runners from silently
+// relying on that.
+//
+// A consumption is legal when, earlier in the same function, the same
+// work request's Status field was read or its Succeeded method was
+// called (checking the owning CQE's Status also blesses e.WR.Result).
+// Reviewed exceptions carry
+//
+//	//smartlint:ignore cqestatus — <why status cannot be an error here>
+//
+// on, or directly above, the consuming line.
+package cqestatus
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the cqestatus rule.
+var Analyzer = &framework.Analyzer{
+	Name: "cqestatus",
+	Doc: "flag reads of a work request's completion payload (WR.Result, also via " +
+		"CQE.WR) with no prior Status check or Succeeded() call on the same WR in " +
+		"the enclosing function: the fault model delivers error-status completions " +
+		"whose Result is meaningless, and consuming it unchecked turns an injected " +
+		"fault into a silent wrong answer",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// completionOwner reports whether t is (a pointer to) the WR or CQE
+// type from a package named verbs — matched by name so fixtures can
+// supply their own verbs package — returning which one.
+func completionOwner(t types.Type) (name string, ok bool) {
+	if t == nil {
+		return "", false
+	}
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "verbs" {
+		return "", false
+	}
+	if n := obj.Name(); n == "WR" || n == "CQE" {
+		return n, true
+	}
+	return "", false
+}
+
+// checkFunc scans one function body in source order, recording Status
+// checks and flagging Result consumptions that precede any check of
+// the same work request.
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
+	// lhs collects the selector expressions that are assignment
+	// targets: writing wr.Result (the card model filling it in) or
+	// wr.Status (launch resetting it) is neither a consumption nor a
+	// check.
+	lhs := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, e := range as.Lhs {
+				lhs[ast.Unparen(e)] = true
+			}
+		}
+		return true
+	})
+
+	// checked maps the rendered base expression ("wr", "c.failed[i]",
+	// "e.WR") to the position of its earliest Status check. Rendered
+	// paths stand in for dataflow: good enough for the access shapes
+	// CQ consumers actually use, and wrong only toward false
+	// positives, never silent misses.
+	checked := make(map[string]ast.Node)
+	note := func(base ast.Expr, n ast.Node) {
+		key := types.ExprString(ast.Unparen(base))
+		if checked[key] == nil {
+			checked[key] = n
+		}
+	}
+	isChecked := func(base ast.Expr, before ast.Node) bool {
+		if c := checked[types.ExprString(ast.Unparen(base))]; c != nil && c.Pos() < before.Pos() {
+			return true
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			owner, ok := completionOwner(pass.TypeOf(e.X))
+			if !ok {
+				return true
+			}
+			switch e.Sel.Name {
+			case "Status":
+				if !lhs[e] {
+					note(e.X, e)
+				}
+			case "Result":
+				if owner != "WR" || lhs[e] {
+					return true
+				}
+				if isChecked(e.X, e) {
+					return true
+				}
+				// e.WR.Result: a check on the owning CQE blesses the
+				// WR it carries.
+				if inner, ok := ast.Unparen(e.X).(*ast.SelectorExpr); ok && inner.Sel.Name == "WR" {
+					if owner, ok := completionOwner(pass.TypeOf(inner.X)); ok && owner == "CQE" && isChecked(inner.X, e) {
+						return true
+					}
+				}
+				pass.Reportf(e.Sel.Pos(),
+					"reads %s.Result without a prior check of %s.Status (or %s.Succeeded()) in this function: "+
+						"error-status completions from the fault model leave Result meaningless, so an unchecked read "+
+						"turns an injected fault into a silent wrong answer",
+					types.ExprString(ast.Unparen(e.X)), types.ExprString(ast.Unparen(e.X)), types.ExprString(ast.Unparen(e.X)))
+			}
+		case *ast.CallExpr:
+			// wr.Succeeded() is a status check by construction.
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Succeeded" {
+				if owner, ok := completionOwner(pass.TypeOf(sel.X)); ok && owner == "WR" {
+					note(sel.X, e)
+				}
+			}
+		}
+		return true
+	})
+}

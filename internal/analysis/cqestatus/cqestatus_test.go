@@ -1,0 +1,12 @@
+package cqestatus_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/cqestatus"
+)
+
+func TestCQEStatus(t *testing.T) {
+	analysistest.Run(t, "testdata", cqestatus.Analyzer, "a")
+}

@@ -1,0 +1,79 @@
+// Package a is the cqestatus fixture: completion-payload reads that
+// skip the status check, next to the checked shapes that must stay
+// clean.
+package a
+
+import "verbs"
+
+// unchecked is the core true positive: the FAA-style "just hand back
+// the payload" read.
+func unchecked(w *verbs.WR) uint64 {
+	return w.Result // want `reads w\.Result without a prior check of w\.Status`
+}
+
+// uncheckedViaCQE reads through the completion entry with neither the
+// entry nor the request checked.
+func uncheckedViaCQE(e verbs.CQE) uint64 {
+	return e.WR.Result // want `reads e\.WR\.Result without a prior check`
+}
+
+// crossCheck checks one request and consumes another: checking a does
+// not bless b.
+func crossCheck(a, b *verbs.WR) uint64 {
+	if a.Status != verbs.StatusSuccess {
+		return 0
+	}
+	return b.Result // want `reads b\.Result without a prior check of b\.Status`
+}
+
+// checkAfterRead: a status check later in the function does not
+// retroactively bless an earlier read.
+func checkAfterRead(w *verbs.WR) uint64 {
+	r := w.Result // want `reads w\.Result without a prior check`
+	if w.Status != verbs.StatusSuccess {
+		return 0
+	}
+	return r
+}
+
+// statusChecked is the canonical legal shape.
+func statusChecked(w *verbs.WR) uint64 {
+	if w.Status != verbs.StatusSuccess {
+		return 0
+	}
+	return w.Result
+}
+
+// succeededChecked uses the helper instead of the raw field.
+func succeededChecked(w *verbs.WR) uint64 {
+	if !w.Succeeded() {
+		return 0
+	}
+	return w.Result
+}
+
+// cqeChecked: checking the owning CQE's status blesses the WR it
+// carries, and so does checking the carried WR directly.
+func cqeChecked(e verbs.CQE, f verbs.CQE) uint64 {
+	if e.Status != verbs.StatusSuccess {
+		return 0
+	}
+	if f.WR.Status != verbs.StatusSuccess {
+		return 0
+	}
+	return e.WR.Result + f.WR.Result
+}
+
+// fillResult writes the payload (the simulated card completing a
+// request); writes are not consumption.
+func fillResult(w *verbs.WR) {
+	w.Result = 7
+	w.Status = verbs.StatusSuccess
+}
+
+// reviewedRead carries a reviewed ignore directive — the
+// suppressed-finding fixture.
+func reviewedRead(w *verbs.WR) uint64 {
+	//smartlint:ignore cqestatus — reviewed: caller drained the CQ and retried until success before handing w over
+	return w.Result
+}

@@ -1,0 +1,25 @@
+// Package verbs is a cqestatus fixture standing in for the real verbs
+// layer: the rule matches the WR and CQE types by name and package.
+package verbs
+
+// Status is a completion status; the zero value means success.
+type Status uint8
+
+// StatusSuccess is the successful completion status.
+const StatusSuccess Status = 0
+
+// WR is a work request carrying its completion payload.
+type WR struct {
+	ID     uint64
+	Status Status
+	Result uint64
+}
+
+// Succeeded reports whether the request completed without error.
+func (w *WR) Succeeded() bool { return w.Status == StatusSuccess }
+
+// CQE is a completion queue entry wrapping the completed request.
+type CQE struct {
+	WR     *WR
+	Status Status
+}

@@ -1,0 +1,101 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Directive is one parsed //smartlint:ignore comment. The canonical
+// form is
+//
+//	//smartlint:ignore <analyzer>[, <analyzer>...] — <reason>
+//
+// where the analyzer names say which rules the directive suppresses
+// (on its own line and the line directly below) and the reason records
+// why the finding is safe. "--" is accepted as an ASCII spelling of
+// the em dash. A directive with no analyzer names is Bare: it
+// suppresses nothing — a bare ignore would otherwise silently swallow
+// every future rule on that line — and is reported as an error by the
+// ignoreaudit analyzer.
+type Directive struct {
+	Pos    token.Pos
+	File   string
+	Line   int
+	Names  []string
+	Reason string
+	Bare   bool
+}
+
+// Covers reports whether the directive names the given analyzer.
+func (d Directive) Covers(analyzer string) bool {
+	for _, n := range d.Names {
+		if n == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// reasonSeparators mark where the analyzer-name list ends and the
+// free-text reason begins, in preference order of first occurrence.
+var reasonSeparators = []string{"—", "--"}
+
+// cutDirective strips the ignore-directive prefix from a comment's
+// text, requiring a word boundary after it ("//smartlint:ignoreX" is
+// not a directive).
+func cutDirective(text string) (rest string, ok bool) {
+	rest, ok = strings.CutPrefix(text, IgnoreDirective)
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return "", false
+	}
+	return rest, true
+}
+
+// parseDirective parses the text following the //smartlint:ignore
+// prefix into names and reason. A nested "//" ends the directive —
+// fixtures use it to carry a // want expectation on the directive's
+// own line.
+func parseDirective(rest string) Directive {
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	namePart, reason := rest, ""
+	sep := -1
+	for _, s := range reasonSeparators {
+		if i := strings.Index(rest, s); i >= 0 && (sep < 0 || i < sep) {
+			sep = i
+			namePart, reason = rest[:i], rest[i+len(s):]
+		}
+	}
+	names := strings.FieldsFunc(namePart, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == ','
+	})
+	if len(names) == 0 {
+		names = nil
+	}
+	return Directive{
+		Names:  names,
+		Reason: strings.TrimSpace(reason),
+		Bare:   len(names) == 0,
+	}
+}
+
+// ParseDirectives returns every ignore directive in the file, well-
+// formed or not, in source order.
+func ParseDirectives(fset *token.FileSet, file *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			rest, ok := cutDirective(c.Text)
+			if !ok {
+				continue
+			}
+			d := parseDirective(rest)
+			pos := fset.Position(c.Pos())
+			d.Pos, d.File, d.Line = c.Pos(), pos.Filename, pos.Line
+			out = append(out, d)
+		}
+	}
+	return out
+}

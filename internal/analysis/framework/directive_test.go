@@ -1,0 +1,243 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestParseDirectiveForms(t *testing.T) {
+	cases := []struct {
+		text   string
+		names  []string
+		reason string
+		bare   bool
+	}{
+		{"//smartlint:ignore maporder — keys are sorted on the next line",
+			[]string{"maporder"}, "keys are sorted on the next line", false},
+		{"//smartlint:ignore maporder, sharedstate — reviewed: read-only after init",
+			[]string{"maporder", "sharedstate"}, "reviewed: read-only after init", false},
+		{"//smartlint:ignore maporder sharedstate simtime — three names, space separated",
+			[]string{"maporder", "sharedstate", "simtime"}, "three names, space separated", false},
+		{"//smartlint:ignore cqestatus -- ascii dash accepted",
+			[]string{"cqestatus"}, "ascii dash accepted", false},
+		{"//smartlint:ignore maporder — reason — with trailing prose, commas, and a second dash",
+			[]string{"maporder"}, "reason — with trailing prose, commas, and a second dash", false},
+		{"//smartlint:ignore maporder", []string{"maporder"}, "", false},
+		// A nested // ends the directive, so fixtures can carry a
+		// // want expectation on the directive's own line.
+		{"//smartlint:ignore maporder — sorted below // want `stale ignore`",
+			[]string{"maporder"}, "sorted below", false},
+		{"//smartlint:ignore maporder // want `has no reason`",
+			[]string{"maporder"}, "", false},
+		{"//smartlint:ignore // want `bare directive`", nil, "", true},
+		{"//smartlint:ignore", nil, "", true},
+		{"//smartlint:ignore — a reason but no analyzer names", nil, "a reason but no analyzer names", true},
+	}
+	for _, c := range cases {
+		rest, ok := cutDirective(c.text)
+		if !ok {
+			t.Errorf("cutDirective(%q) did not recognize a directive", c.text)
+			continue
+		}
+		d := parseDirective(rest)
+		if !reflect.DeepEqual(d.Names, c.names) || d.Reason != c.reason || d.Bare != c.bare {
+			t.Errorf("parseDirective(%q) = names %v reason %q bare %v, want %v %q %v",
+				c.text, d.Names, d.Reason, d.Bare, c.names, c.reason, c.bare)
+		}
+	}
+}
+
+func TestCutDirectiveBoundary(t *testing.T) {
+	for _, text := range []string{
+		"//smartlint:ignored maporder", // no word boundary
+		"// smartlint:ignore maporder", // space before prefix
+		"//lint:ignore maporder",
+	} {
+		if _, ok := cutDirective(text); ok {
+			t.Errorf("cutDirective(%q) = ok, want not a directive", text)
+		}
+	}
+}
+
+// parsePkg type-checks an in-memory package of one or more files for
+// the suppression tests below.
+func parsePkg(t *testing.T, srcs map[string]string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	//smartlint:ignore maporder — names are sorted on the next line
+	for name := range srcs {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic file order for stable positions
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, srcs[name], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{}
+	tpkg, err := conf.Check("p", fset, files, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{PkgPath: "p", Fset: fset, Files: files, Types: tpkg, Info: info}
+}
+
+// flagReturns is a test analyzer that flags every return statement —
+// a predictable diagnostic source for suppression accounting tests.
+var flagReturns = &Analyzer{
+	Name: "flagreturns",
+	Doc:  "test rule: flags every return statement",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if r, ok := n.(*ast.ReturnStmt); ok {
+					pass.Reportf(r.Pos(), "return statement")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestSuppressionPlacement pins the two legal directive placements —
+// same line and line directly above — and that a directive two lines
+// up does not suppress.
+func TestSuppressionPlacement(t *testing.T) {
+	pkg := parsePkg(t, map[string]string{"a.go": `package p
+
+func sameLine() int {
+	return 1 //smartlint:ignore flagreturns — same-line placement
+}
+
+func lineAbove() int {
+	//smartlint:ignore flagreturns — line-above placement
+	return 2
+}
+
+func tooFarAbove() int {
+	//smartlint:ignore flagreturns — two lines up: must NOT suppress
+
+	return 3
+}
+`})
+	diags, err := RunAnalyzer(flagReturns, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (only the return with the distant directive): %v", len(diags), diags)
+	}
+	if line := pkg.Fset.Position(diags[0].Pos).Line; line != 15 {
+		t.Errorf("surviving diagnostic at line %d, want 15", line)
+	}
+}
+
+// TestBareDirectiveDoesNotSuppress: a bare //smartlint:ignore names no
+// analyzer, so the framework rejects it as a suppression — the
+// diagnostic on its line still fires.
+func TestBareDirectiveDoesNotSuppress(t *testing.T) {
+	pkg := parsePkg(t, map[string]string{"a.go": `package p
+
+func f() int {
+	//smartlint:ignore
+	return 1
+}
+`})
+	diags, err := RunAnalyzer(flagReturns, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (bare directives suppress nothing): %v", len(diags), diags)
+	}
+}
+
+// TestSuppressionAccountingAcrossFiles runs one analyzer over a
+// two-file package: each file has one used and one stale directive,
+// and the audit must keep their usage separate per file.
+func TestSuppressionAccountingAcrossFiles(t *testing.T) {
+	pkg := parsePkg(t, map[string]string{
+		"a.go": `package p
+
+func aUsed() int {
+	//smartlint:ignore flagreturns — suppresses the return below
+	return 1
+}
+
+//smartlint:ignore flagreturns — stale in a.go: nothing on this or the next line
+var A = 1
+`,
+		"b.go": `package p
+
+func bUsed() int {
+	//smartlint:ignore flagreturns — suppresses the return below
+	return 2
+}
+
+//smartlint:ignore flagreturns — stale in b.go: nothing on this or the next line
+var B = 2
+`,
+	})
+	audit := NewAudit(flagReturns.Name)
+	diags, err := runAnalyzer(flagReturns, pkg, audit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+	var all []Directive
+	for _, f := range pkg.Files {
+		all = append(all, ParseDirectives(pkg.Fset, f)...)
+	}
+	if len(all) != 4 {
+		t.Fatalf("parsed %d directives, want 4", len(all))
+	}
+	for _, d := range all {
+		wantUsed := d.Line == 4 // the used directive sits at line 4 of each file
+		if got := audit.Suppressed(d); got != wantUsed {
+			t.Errorf("%s:%d: Suppressed = %v, want %v", d.File, d.Line, got, wantUsed)
+		}
+	}
+	if !audit.Ran(flagReturns.Name) || audit.Ran("maporder") {
+		t.Errorf("Ran bookkeeping wrong: ran(flagreturns)=%v ran(maporder)=%v",
+			audit.Ran(flagReturns.Name), audit.Ran("maporder"))
+	}
+}
+
+// TestMultiNameDirectiveAccounting: one directive naming two analyzers
+// is used as soon as either analyzer suppresses through it.
+func TestMultiNameDirectiveAccounting(t *testing.T) {
+	pkg := parsePkg(t, map[string]string{"a.go": `package p
+
+func f() int {
+	//smartlint:ignore flagreturns, otherrule — covers both rules
+	return 1
+}
+`})
+	suite := &Suite{Analyzers: []*Analyzer{flagReturns}, Known: []string{"otherrule"}}
+	diags, err := suite.Run(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+}

@@ -18,7 +18,6 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
-	"strings"
 )
 
 // An Analyzer describes one static-analysis rule. Unlike x/tools, Run
@@ -32,6 +31,12 @@ type Analyzer struct {
 
 	// Doc is a one-paragraph description shown by `smartlint -help`.
 	Doc string
+
+	// Audit marks an analyzer that inspects the suite itself rather
+	// than the analyzed code: Suite.Run executes audit analyzers after
+	// every ordinary analyzer, with the suppression accounting already
+	// populated (ignoreaudit needs that to detect stale directives).
+	Audit bool
 
 	// Run executes the rule over a single type-checked package.
 	Run func(*Pass) error
@@ -49,9 +54,19 @@ type Pass struct {
 	// external test packages it carries the "_test" suffix.
 	PkgPath string
 
-	// ignoredLines maps filename -> set of lines suppressed for this
-	// analyzer by //smartlint:ignore comments.
-	ignoredLines map[string]map[int]bool
+	// AllDirectives holds every //smartlint:ignore directive found in
+	// the package's files — including bare and unknown-name ones —
+	// in source order. Audit analyzers (ignoreaudit) read it.
+	AllDirectives []Directive
+
+	// Audit is the suite-level suppression accounting. It is always
+	// non-nil; in a standalone RunAnalyzer call it knows only about
+	// this one analyzer.
+	Audit *Audit
+
+	// ignored maps filename -> line -> the directive suppressing this
+	// analyzer on that line.
+	ignored map[string]map[int]*Directive
 
 	// report receives every non-suppressed diagnostic.
 	report func(Diagnostic)
@@ -65,18 +80,23 @@ type Diagnostic struct {
 }
 
 // IgnoreDirective is the comment prefix that suppresses a diagnostic:
-// `//smartlint:ignore <analyzer>` (several names may follow, separated
-// by spaces or commas) on the flagged line or the line directly above
-// it.
+// `//smartlint:ignore <analyzer> — <reason>` (several names may
+// precede the reason, separated by spaces or commas) on the flagged
+// line or the line directly above it. A directive with no analyzer
+// names suppresses nothing; the ignoreaudit analyzer reports it.
 const IgnoreDirective = "//smartlint:ignore"
 
 // Reportf reports a diagnostic at pos unless an ignore directive
-// covers it.
+// covers it; a suppression is recorded against the directive in the
+// pass's Audit, which is what lets ignoreaudit find stale directives.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	position := p.Fset.Position(pos)
-	if lines, ok := p.ignoredLines[position.Filename]; ok {
-		if lines[position.Line] || lines[position.Line-1] {
-			return
+	if lines, ok := p.ignored[position.Filename]; ok {
+		for _, l := range []int{position.Line, position.Line - 1} {
+			if d := lines[l]; d != nil {
+				p.Audit.noteSuppressed(*d)
+				return
+			}
 		}
 	}
 	p.report(Diagnostic{
@@ -99,54 +119,49 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 	return p.TypesInfo.Uses[id]
 }
 
-// ignoreLines scans a file's comments for ignore directives naming
-// analyzer and returns the set of source lines they occupy.
-func ignoreLines(fset *token.FileSet, file *ast.File, analyzer string) map[int]bool {
-	var lines map[int]bool
-	for _, cg := range file.Comments {
-		for _, c := range cg.List {
-			rest, ok := strings.CutPrefix(c.Text, IgnoreDirective)
-			if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
-				continue
-			}
-			for _, name := range strings.FieldsFunc(rest, func(r rune) bool {
-				return r == ' ' || r == '\t' || r == ','
-			}) {
-				if name == analyzer {
-					if lines == nil {
-						lines = make(map[int]bool)
-					}
-					lines[fset.Position(c.Pos()).Line] = true
-				}
-			}
-		}
-	}
-	return lines
+// RunAnalyzer applies one analyzer to one loaded package and returns
+// its diagnostics sorted by position. The analyzer runs with a
+// private, single-analyzer Audit; to share suppression accounting
+// across a whole suite (which stale-directive detection needs), use
+// Suite.Run instead.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	return runAnalyzer(a, pkg, NewAudit(a.Name))
 }
 
-// RunAnalyzer applies one analyzer to one loaded package and returns
-// its diagnostics sorted by position.
-func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+// runAnalyzer applies one analyzer to one loaded package, recording
+// suppressions in audit.
+func runAnalyzer(a *Analyzer, pkg *Package, audit *Audit) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	pass := &Pass{
-		Analyzer:     a,
-		Fset:         pkg.Fset,
-		Files:        pkg.Files,
-		Pkg:          pkg.Types,
-		TypesInfo:    pkg.Info,
-		PkgPath:      pkg.PkgPath,
-		ignoredLines: make(map[string]map[int]bool),
-		report:       func(d Diagnostic) { diags = append(diags, d) },
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		PkgPath:   pkg.PkgPath,
+		Audit:     audit,
+		ignored:   make(map[string]map[int]*Directive),
+		report:    func(d Diagnostic) { diags = append(diags, d) },
 	}
 	for _, f := range pkg.Files {
-		name := pkg.Fset.Position(f.Pos()).Filename
-		if lines := ignoreLines(pkg.Fset, f, a.Name); lines != nil {
-			pass.ignoredLines[name] = lines
+		for _, d := range ParseDirectives(pkg.Fset, f) {
+			d := d
+			pass.AllDirectives = append(pass.AllDirectives, d)
+			if !d.Covers(a.Name) {
+				continue
+			}
+			lines := pass.ignored[d.File]
+			if lines == nil {
+				lines = make(map[int]*Directive)
+				pass.ignored[d.File] = lines
+			}
+			lines[d.Line] = &d
 		}
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
 	}
+	audit.noteRan(a.Name)
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 	return diags, nil
 }

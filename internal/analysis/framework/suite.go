@@ -1,0 +1,104 @@
+package framework
+
+import "sort"
+
+// An Audit accumulates suite-level bookkeeping while analyzers run:
+// which analyzers are part of the run (the "known" names an ignore
+// directive may legally cite), which have already executed, and which
+// directives actually suppressed a diagnostic. The ignoreaudit
+// analyzer reads it through the Pass to flag unknown-name and stale
+// directives.
+type Audit struct {
+	known map[string]bool
+	ran   map[string]bool
+	// used counts suppressed diagnostics per directive site,
+	// keyed file -> directive line. Directives are identified by
+	// position rather than name list so accounting is tracked
+	// independently per file (two identical directives in two files
+	// never share a usage count).
+	used map[string]map[int]int
+}
+
+// NewAudit returns an Audit that knows the given analyzer names.
+func NewAudit(known ...string) *Audit {
+	ad := &Audit{
+		known: make(map[string]bool, len(known)),
+		ran:   make(map[string]bool),
+		used:  make(map[string]map[int]int),
+	}
+	for _, n := range known {
+		ad.known[n] = true
+	}
+	return ad
+}
+
+// Known reports whether name identifies an analyzer of this run.
+func (ad *Audit) Known(name string) bool { return ad.known[name] }
+
+// Ran reports whether the named analyzer has finished its Run. A
+// stale-directive verdict is only sound for analyzers that ran.
+func (ad *Audit) Ran(name string) bool { return ad.ran[name] }
+
+// Suppressed reports whether the directive has suppressed at least
+// one diagnostic so far in this run.
+func (ad *Audit) Suppressed(d Directive) bool { return ad.used[d.File][d.Line] > 0 }
+
+func (ad *Audit) noteSuppressed(d Directive) {
+	lines := ad.used[d.File]
+	if lines == nil {
+		lines = make(map[int]int)
+		ad.used[d.File] = lines
+	}
+	lines[d.Line]++
+}
+
+func (ad *Audit) noteRan(name string) { ad.ran[name] = true }
+
+// A Suite is an ordered set of analyzers sharing one suppression
+// accounting per package. Ordinary analyzers run first, in declared
+// order; analyzers marked Audit run last, when the accounting can
+// answer "did this directive suppress anything?".
+type Suite struct {
+	Analyzers []*Analyzer
+
+	// Known lists extra analyzer names that directives may cite
+	// without being part of this run (a partial run of a larger
+	// suite). Names of the suite's own analyzers are always known.
+	Known []string
+}
+
+// Names returns the suite's analyzer names in declared order.
+func (s *Suite) Names() []string {
+	out := make([]string, len(s.Analyzers))
+	for i, a := range s.Analyzers {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Run applies the whole suite to one package and returns the merged
+// diagnostics sorted by position (ties broken by analyzer name, so
+// output order is deterministic).
+func (s *Suite) Run(pkg *Package) ([]Diagnostic, error) {
+	audit := NewAudit(append(s.Names(), s.Known...)...)
+	var diags []Diagnostic
+	for _, auditPhase := range []bool{false, true} {
+		for _, a := range s.Analyzers {
+			if a.Audit != auditPhase {
+				continue
+			}
+			ds, err := runAnalyzer(a, pkg, audit)
+			if err != nil {
+				return nil, err
+			}
+			diags = append(diags, ds...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,81 @@
+// Package ignoreaudit defines the smartlint analyzer that audits the
+// suppression mechanism itself. Every //smartlint:ignore directive is
+// a standing exception to a contract, so each one must say exactly
+// which rules it waives and why:
+//
+//	//smartlint:ignore <analyzer>[, <analyzer>...] — <reason>
+//
+// A bare directive (no analyzer names) would silently swallow every
+// future rule on its line; a name that matches no analyzer suppresses
+// nothing while looking like it does; a missing reason leaves the next
+// reader re-deriving the review; and a directive that no longer
+// suppresses anything is a stale exception that will hide the next
+// real finding at that site. ignoreaudit reports all four.
+//
+// It is an audit analyzer: the framework runs it after every ordinary
+// analyzer in the suite, when the shared suppression accounting can
+// answer "did this directive actually suppress a diagnostic?". A
+// stale verdict is only issued when every analyzer the directive
+// names ran in this suite — a partial run proves nothing.
+package ignoreaudit
+
+import (
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the ignoreaudit rule.
+var Analyzer = &framework.Analyzer{
+	Name: "ignoreaudit",
+	Doc: "audit //smartlint:ignore directives: a directive must name known " +
+		"analyzers and carry a — reason, and must still suppress at least one " +
+		"diagnostic; bare, unknown-name, reasonless, and stale directives are " +
+		"themselves findings (runs after the rest of the suite, on its shared " +
+		"suppression accounting)",
+	Audit: true,
+	Run:   run,
+}
+
+func run(pass *framework.Pass) error {
+	ad := pass.Audit
+	for _, d := range pass.AllDirectives {
+		if d.Bare {
+			pass.Reportf(d.Pos,
+				"bare //smartlint:ignore directive suppresses nothing: name the analyzers it waives and add a — reason")
+			continue
+		}
+		unknown := false
+		for _, n := range d.Names {
+			if !ad.Known(n) {
+				unknown = true
+				pass.Reportf(d.Pos,
+					"ignore directive names unknown analyzer %q: it suppresses nothing under that name", n)
+			}
+		}
+		if d.Reason == "" {
+			pass.Reportf(d.Pos,
+				"ignore directive for %s has no reason: add \"— <why this finding is safe to suppress>\"",
+				strings.Join(d.Names, ", "))
+		}
+		if unknown {
+			continue
+		}
+		// A stale verdict is only sound when every named analyzer
+		// actually ran (ignoreaudit itself is still running, so
+		// directives naming it are never called stale).
+		allRan := true
+		for _, n := range d.Names {
+			if !ad.Ran(n) {
+				allRan = false
+				break
+			}
+		}
+		if allRan && !ad.Suppressed(d) {
+			pass.Reportf(d.Pos,
+				"stale ignore directive for %s: it suppressed no diagnostic in this run; delete it or re-justify it",
+				strings.Join(d.Names, ", "))
+		}
+	}
+	return nil
+}

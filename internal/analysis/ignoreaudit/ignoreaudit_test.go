@@ -1,0 +1,18 @@
+package ignoreaudit_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/ignoreaudit"
+	"repro/internal/analysis/maporder"
+)
+
+func TestIgnoreAudit(t *testing.T) {
+	suite := &framework.Suite{
+		Analyzers: []*framework.Analyzer{maporder.Analyzer, ignoreaudit.Analyzer},
+		Known:     []string{"cqestatus"},
+	}
+	analysistest.RunSuite(t, "testdata", suite, "b")
+}

@@ -1,0 +1,96 @@
+// Package b is the ignoreaudit fixture, run under a two-analyzer
+// suite (maporder + ignoreaudit, with cqestatus declared known but
+// not run): directives that are bare, unknown, reasonless, or stale,
+// next to the healthy forms that must stay clean.
+package b
+
+// usedDirective is the healthy shape: the directive names a real
+// analyzer, carries a reason, and suppresses a live maporder finding.
+func usedDirective() []string {
+	m := map[string]int{"a": 1, "b": 2}
+	var keys []string
+	//smartlint:ignore maporder — keys are sorted by the caller before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// bareDirective: no analyzer names, so it suppresses nothing — the
+// maporder finding below it still fires.
+func bareDirective() []string {
+	m := map[string]int{"a": 1}
+	var keys []string
+	//smartlint:ignore // want `bare //smartlint:ignore directive suppresses nothing`
+	for k := range m { // want `appends to a slice declared outside the loop`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// unknownName cites an analyzer that is not part of the suite.
+func unknownName() int {
+	m := map[string]int{"a": 1}
+	n := 0
+	//smartlint:ignore gofancy — no such analyzer exists // want `unknown analyzer "gofancy"`
+	for range m {
+		n++
+	}
+	return n
+}
+
+// staleDirective once guarded a float accumulation; the loop is no
+// longer a map range, so the directive suppresses nothing.
+func staleDirective() int {
+	total := 0
+	//smartlint:ignore maporder — historical: loop formerly accumulated floats over a map // want `stale ignore directive for maporder`
+	for i := 0; i < 3; i++ {
+		total += i
+	}
+	return total
+}
+
+// missingReason suppresses a real finding but never says why.
+func missingReason() []string {
+	m := map[string]int{"a": 1}
+	var keys []string
+	//smartlint:ignore maporder // want `ignore directive for maporder has no reason`
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// knownButNotRun cites cqestatus, which this suite declares known but
+// does not run: not unknown, and a stale verdict would be unsound.
+func knownButNotRun() int {
+	x := 0
+	//smartlint:ignore cqestatus — reviewed: payload status is checked by the caller
+	x++
+	return x
+}
+
+// multiName waives two analyzers at once; the maporder half is used
+// and the cqestatus half did not run, so the directive is healthy.
+func multiName() []string {
+	m := map[string]int{"a": 1}
+	var keys []string
+	//smartlint:ignore maporder, cqestatus — reviewed: single-entry map, order cannot matter
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// suppressedAudit is the suppressed-finding fixture: the maporder
+// directive is stale, but the ignoreaudit directive above it waives
+// that verdict.
+func suppressedAudit() int {
+	total := 0
+	//smartlint:ignore ignoreaudit — reviewed: kept while the float path is ported back
+	//smartlint:ignore maporder — historical float accumulation
+	for i := 0; i < 2; i++ {
+		total += i
+	}
+	return total
+}

@@ -8,7 +8,7 @@
 // develops run-to-run jitter. Iterate over sorted keys instead, or
 // suppress a reviewed-safe loop with
 //
-//	//smartlint:ignore maporder
+//	//smartlint:ignore maporder — <why the order cannot matter>
 //
 // on the line above the range statement.
 package maporder
@@ -28,7 +28,7 @@ var Analyzer = &framework.Analyzer{
 		"channels, accumulate floats in outer variables, or call methods on " +
 		"outer variables for effect: map iteration order is randomized per run, " +
 		"so such loops break seed-determinism; iterate " +
-		"sorted keys, or mark a reviewed loop with //smartlint:ignore maporder",
+		"sorted keys, or mark a reviewed loop with //smartlint:ignore maporder — <reason>",
 	Run: run,
 }
 

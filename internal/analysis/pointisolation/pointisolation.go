@@ -1,0 +1,332 @@
+// Package pointisolation defines a smartlint analyzer that enforces
+// the sweep scheduler's core contract statically: a point's run
+// closure touches only state owned by that point (DESIGN.md §12).
+// Points execute concurrently on the worker pool, so a run closure
+// passed to sweep.Add or (*sweep.Set).AddFunc that writes a variable
+// declared outside itself, reads shared reference-typed state (a
+// telemetry registry, a slice, a map, a channel, a pointer), mutates
+// an outer counter through a pointer-receiver method, or captures an
+// enclosing loop's iteration variable is exactly the bug class the
+// race detector can only catch dynamically — and only when the
+// schedule cooperates. Shared state belongs in the merge closure,
+// which runs on the Run caller's goroutine in enumeration order;
+// per-point inputs belong in the config, captured by value at
+// enumeration time.
+//
+// Diagnostics anchor at the run closure's opening position, so one
+//
+//	//smartlint:ignore pointisolation — <why the sharing is safe>
+//
+// directive on (or directly above) the line where the closure starts
+// covers every finding inside it.
+package pointisolation
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the pointisolation rule.
+var Analyzer = &framework.Analyzer{
+	Name: "pointisolation",
+	Doc: "flag sweep run closures (sweep.Add run funcs, Set.AddFunc execs) that " +
+		"touch state not owned by the point: writes to outer variables, reads of " +
+		"shared reference types (registries, slices, maps, channels, pointers), " +
+		"pointer-receiver method calls on outer values, and captured loop " +
+		"variables; points run concurrently — move sharing into the merge " +
+		"closure or the by-value config",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if call, ok := n.(*ast.CallExpr); ok {
+				if lit, kind := runClosure(pass, call); lit != nil {
+					checkClosure(pass, lit, kind, loopVars(pass, stack))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// runClosure returns the function literal that will execute as a
+// point's run func, if call enumerates a point with one: the exec
+// argument of (*sweep.Set).AddFunc or the run argument of sweep.Add.
+// Run funcs passed by name are out of scope — the rule audits what a
+// point captures at its enumeration site. kind names the argument for
+// diagnostics.
+func runClosure(pass *framework.Pass, call *ast.CallExpr) (lit *ast.FuncLit, kind string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	switch sel.Sel.Name {
+	case "AddFunc":
+		// Method on a Set from a package named sweep (matched by name
+		// so fixtures can supply their own mini scheduler).
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || !isSweepSet(selection.Recv()) || len(call.Args) < 3 {
+			return nil, ""
+		}
+		lit, _ := ast.Unparen(call.Args[2]).(*ast.FuncLit)
+		return lit, "exec"
+	case "Add":
+		// Package-level generic helper sweep.Add(set, label, seed,
+		// cfg, run, merge).
+		fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "sweep" || len(call.Args) < 5 {
+			return nil, ""
+		}
+		if _, isPkg := pass.ObjectOf(selIdent(sel.X)).(*types.PkgName); !isPkg {
+			return nil, ""
+		}
+		lit, _ := ast.Unparen(call.Args[4]).(*ast.FuncLit)
+		return lit, "run"
+	}
+	return nil, ""
+}
+
+func selIdent(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+// isSweepSet reports whether t is (a pointer to) the named type Set
+// from a package named sweep.
+func isSweepSet(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Set" && obj.Pkg() != nil && obj.Pkg().Name() == "sweep"
+}
+
+// loopVars collects the iteration variables of every for/range
+// statement on the enclosure stack: capturing one in a run closure
+// ties the point to enumeration-time control flow instead of its own
+// config.
+func loopVars(pass *framework.Pass, stack []ast.Node) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	addIdent := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	for _, n := range stack {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			if s.Tok == token.DEFINE {
+				addIdent(s.Key)
+				addIdent(s.Value)
+			}
+		case *ast.ForStmt:
+			if init, ok := s.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					addIdent(lhs)
+				}
+			}
+		}
+	}
+	return vars
+}
+
+// checkClosure walks one run closure's body and reports every touch
+// of state the point does not own. Findings are deduplicated per
+// (object, category) and anchored at the closure so a single ignore
+// directive covers the whole point.
+func checkClosure(pass *framework.Pass, lit *ast.FuncLit, kind string, loops map[types.Object]bool) {
+	// One finding per captured object: the write pass runs first, so a
+	// variable that is both written and read reports as a write.
+	seen := make(map[types.Object]bool)
+	reportOnce := func(obj types.Object, format string, args ...interface{}) {
+		if seen[obj] {
+			return
+		}
+		seen[obj] = true
+		pass.Reportf(lit.Pos(), format, args...)
+	}
+
+	outer := func(obj types.Object) bool {
+		if obj == nil || obj.Pos() == token.NoPos {
+			return false
+		}
+		return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+	}
+	outerVar := func(id *ast.Ident) (*types.Var, bool) {
+		v, ok := pass.ObjectOf(id).(*types.Var)
+		if !ok || v.IsField() || !outer(v) {
+			return nil, false
+		}
+		return v, true
+	}
+
+	// writes records identifiers that are the base of an assignment
+	// target (or address-of), so the read pass can skip them.
+	writes := make(map[*ast.Ident]bool)
+	flagWrite := func(target ast.Expr, what string) {
+		id := baseIdent(pass, target)
+		if id == nil {
+			return
+		}
+		writes[id] = true
+		if v, ok := outerVar(id); ok {
+			reportOnce(v,
+				"%s closure for a sweep point %s %s, declared outside the point (line %d): "+
+					"points run concurrently; return the value through the point's result slot and assign it in the merge closure",
+				kind, what, v.Name(), pass.Fset.Position(v.Pos()).Line)
+		}
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				flagWrite(lhs, "writes")
+			}
+		case *ast.IncDecStmt:
+			flagWrite(s.X, "increments")
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				flagWrite(s.X, "takes the address of")
+			}
+		case *ast.CallExpr:
+			// x.M(...) where x is an addressable outer value and M has
+			// a pointer receiver mutates x through an implicit &x —
+			// the atomic-counter pattern.
+			if sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr); ok {
+				if selection, isMethod := pass.TypesInfo.Selections[sel]; isMethod {
+					if id := baseIdent(pass, sel.X); id != nil {
+						if v, ok := outerVar(id); ok && !isRefType(v.Type()) && hasPointerReceiver(selection) {
+							reportOnce(v,
+								"%s closure for a sweep point calls pointer-receiver method %s on %s, declared outside the point (line %d): "+
+									"the call mutates shared state through an implicit &%s; give the point its own copy or move the update into the merge closure",
+								kind, sel.Sel.Name, v.Name(), pass.Fset.Position(v.Pos()).Line, v.Name())
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Read pass: every identifier use that escapes the closure.
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || writes[id] {
+			return true
+		}
+		if pass.TypesInfo.Uses[id] == nil {
+			return true // declarations, field names, labels
+		}
+		v, ok := outerVar(id)
+		if !ok {
+			return true
+		}
+		if loops[v] {
+			reportOnce(v,
+				"%s closure for a sweep point captures loop variable %s (line %d): "+
+					"the point must not depend on enumeration-time control flow; pass the value through the point's config instead",
+				kind, v.Name(), pass.Fset.Position(v.Pos()).Line)
+			return true
+		}
+		if isRegistry(v.Type()) {
+			reportOnce(v,
+				"%s closure for a sweep point captures telemetry registry %s, declared outside the point (line %d): "+
+					"registries are unsynchronized and owned one-per-point; build the point's own registry in its config and harvest shared groups in the merge closure",
+				kind, v.Name(), pass.Fset.Position(v.Pos()).Line)
+		} else if isRefType(v.Type()) {
+			reportOnce(v,
+				"%s closure for a sweep point reads %s (%s), declared outside the point (line %d): "+
+					"reference-typed captures alias shared mutable state across concurrently executing points; pass a by-value copy through the point's config",
+				kind, v.Name(), v.Type().String(), pass.Fset.Position(v.Pos()).Line)
+		}
+		return true
+	})
+}
+
+// baseIdent walks selector/index/star/paren chains to the identifier
+// that owns the storage being written or called through (mirrors
+// maporder's declaredOutside walk). A non-identifier base (function
+// result, literal) is untrackable and returns nil.
+func baseIdent(pass *framework.Pass, expr ast.Expr) *ast.Ident {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			if _, ok := pass.TypesInfo.Selections[e]; !ok {
+				expr = e.Sel // package-qualified name: resolve the selected identifier
+				continue
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.IndexListExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isRegistry reports whether t is (a pointer to) the named type
+// Registry from a package named telemetry, matched by name so
+// fixtures can supply their own telemetry package.
+func isRegistry(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Name() == "telemetry"
+}
+
+// isRefType reports whether values of t alias shared storage: reads
+// through such a capture see (and enable) concurrent mutation.
+// Scalars, strings, structs and funcs captured by value are owned
+// copies and stay legal.
+func isRefType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// hasPointerReceiver reports whether the selected method's receiver
+// is a pointer type.
+func hasPointerReceiver(sel *types.Selection) bool {
+	fn, ok := sel.Obj().(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, isPtr := sig.Recv().Type().(*types.Pointer)
+	return isPtr
+}

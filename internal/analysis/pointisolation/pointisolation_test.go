@@ -1,0 +1,12 @@
+package pointisolation_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/pointisolation"
+)
+
+func TestPointIsolation(t *testing.T) {
+	analysistest.Run(t, "testdata", pointisolation.Analyzer, "bench")
+}

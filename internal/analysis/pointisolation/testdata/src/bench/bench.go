@@ -1,0 +1,126 @@
+// Package bench is the pointisolation fixture: run closures that
+// break the point-ownership contract in each of the ways the rule
+// catches, next to the legal patterns that must stay clean.
+package bench
+
+import (
+	"sweep"
+	"telemetry"
+)
+
+type cfg struct {
+	Threads int
+	Tel     *telemetry.Registry
+}
+
+type counter struct{ n int }
+
+func (c *counter) Inc() { c.n++ }
+func (c counter) Get() int {
+	return c.n
+}
+
+func runPoint(c cfg) float64 {
+	if c.Tel != nil {
+		return c.Tel.Value("x")
+	}
+	return float64(c.Threads)
+}
+
+// sharedRegistryCapture is the bug class TestRegistryPerPointIsolation
+// can only catch dynamically: the run closure reads the sweep-shared
+// registry instead of the point-owned one in its config.
+func sharedRegistryCapture(grid []int) {
+	reg := telemetry.New()
+	set := &sweep.Set{}
+	for _, thr := range grid {
+		sweep.Add(set, "p", 1, cfg{Threads: thr},
+			func(c cfg) float64 { // want `captures telemetry registry reg`
+				return reg.Value("x") * float64(c.Threads)
+			},
+			nil)
+	}
+	set.Run()
+}
+
+// loopVarCapture: the exec depends on enumeration-time control flow.
+func loopVarCapture(grid []int) {
+	set := &sweep.Set{}
+	results := map[int]float64{}
+	for _, thr := range grid {
+		set.AddFunc("p", 2, func() { // want `captures loop variable thr` `writes results`
+			results[thr] = float64(thr)
+		}, nil)
+	}
+	set.Run()
+}
+
+// outerWrites: exec writes state it does not own — a scalar counter,
+// a slice slot, and an atomic-style pointer-receiver mutation.
+func outerWrites() {
+	var total int
+	res := make([]float64, 4)
+	var hits counter
+	set := &sweep.Set{}
+	set.AddFunc("p0", 3, func() { // want `increments total`
+		total++
+	}, nil)
+	set.AddFunc("p1", 3, func() { // want `writes res`
+		res[0] = 1
+	}, nil)
+	set.AddFunc("p2", 3, func() { // want `calls pointer-receiver method Inc on hits`
+		hits.Inc()
+	}, nil)
+	set.Run()
+	_ = total
+}
+
+// mergeOwnsSharing is the legal shape: the run closure touches only
+// its by-value config, and every shared table, registry harvest, and
+// counter update happens in the merge closure.
+func mergeOwnsSharing(grid []int) float64 {
+	reg := telemetry.New()
+	var total float64
+	var hits counter
+	set := &sweep.Set{}
+	for _, thr := range grid {
+		c := cfg{Threads: thr, Tel: telemetry.New()}
+		sweep.Add(set, "p", 4, c, runPoint, func(r float64) {
+			total += r * float64(thr) // merges may capture loop vars and shared state
+			reg.Record("merged", total)
+			hits.Inc()
+		})
+	}
+	set.Run()
+	return total + float64(hits.Get())
+}
+
+// ownedStateInsideExec: everything the exec touches is declared in
+// the closure itself, including value-receiver method calls on an
+// outer value (a read of an owned copy).
+func ownedStateInsideExec() {
+	var snapshot counter
+	set := &sweep.Set{}
+	set.AddFunc("p", 5, func() {
+		local := make([]float64, 8)
+		local[0] = float64(snapshot.Get())
+		sum := 0.0
+		for _, v := range local {
+			sum += v
+		}
+		_ = sum
+	}, nil)
+	set.Run()
+}
+
+// reviewedSharing: a deliberate violation carrying a reviewed ignore
+// directive — the suppressed-finding fixture.
+func reviewedSharing() {
+	var rendezvous chan struct{}
+	set := &sweep.Set{}
+	//smartlint:ignore pointisolation — reviewed: scheduler test deliberately couples two points
+	set.AddFunc("p", 6, func() {
+		<-rendezvous
+	}, nil)
+	set.Run()
+}

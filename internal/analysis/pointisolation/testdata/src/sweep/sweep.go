@@ -1,0 +1,45 @@
+// Package sweep is a pointisolation fixture: a miniature of the real
+// scheduler's enumeration surface. Only the shapes matter — the rule
+// matches Set.AddFunc and the generic Add by name and package.
+package sweep
+
+// A Point is one enumerated unit.
+type Point struct {
+	Label string
+	Seed  int64
+
+	exec  func()
+	merge func()
+}
+
+// A Set is an ordered enumeration of points.
+type Set struct {
+	points []*Point
+}
+
+// AddFunc enumerates one point from raw closures.
+func (s *Set) AddFunc(label string, seed int64, exec, merge func()) {
+	s.points = append(s.points, &Point{Label: label, Seed: seed, exec: exec, merge: merge})
+}
+
+// Add enumerates one typed point. The fixture body avoids the real
+// implementation's slot closure so the fixture package itself stays
+// clean under the rule.
+func Add[C, R any](s *Set, label string, seed int64, cfg C, run func(C) R, merge func(R)) {
+	s.points = append(s.points, &Point{Label: label, Seed: seed})
+	_ = cfg
+	_ = run
+	_ = merge
+}
+
+// Run executes the set sequentially (fixtures never actually sweep).
+func (s *Set) Run() {
+	for _, p := range s.points {
+		if p.exec != nil {
+			p.exec()
+		}
+		if p.merge != nil {
+			p.merge()
+		}
+	}
+}

@@ -1,0 +1,20 @@
+// Package telemetry is a pointisolation fixture standing in for the
+// real unsynchronized registry: the rule matches the Registry type by
+// name and package.
+package telemetry
+
+// Registry is a deliberately unsynchronized counter registry.
+type Registry struct {
+	counters map[string]float64
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{counters: make(map[string]float64)}
+}
+
+// Value returns a counter's value.
+func (r *Registry) Value(name string) float64 { return r.counters[name] }
+
+// Record sets a counter.
+func (r *Registry) Record(name string, v float64) { r.counters[name] = v }

@@ -125,10 +125,12 @@ func runChaos(sw *sweep.Sweeper, quick bool, seed int64, reg *telemetry.Registry
 
 	var faulted, clean []chaosSamplePoint
 	set := &sweep.Set{}
+	//smartlint:ignore pointisolation — reviewed: this point deliberately owns reg, plan, and faulted (see the comment above runChaos); the twin point shares nothing with it
 	set.AddFunc("chaos/faulted+storm", 41+seed, func() {
 		faulted = run(true, reg)
 		runStorm(quick, seed, reg, plan, horizon)
 	}, nil)
+	//smartlint:ignore pointisolation — reviewed: clean is written by this point alone and read only after Run returns
 	set.AddFunc("chaos/fault-free", 41+seed, func() {
 		clean = run(false, nil)
 	}, nil)

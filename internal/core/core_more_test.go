@@ -220,8 +220,10 @@ func TestFAABuffered(t *testing.T) {
 		w2 := c.FAA(addr, 3)
 		c.PostSend()
 		c.Sync()
-		// RC QP ordering: first FAA executes first.
-		if w1.Result != 0 || w2.Result != 2 {
+		if w1.Status != rnic.StatusSuccess || w2.Status != rnic.StatusSuccess {
+			t.Errorf("FAA statuses = %v, %v", w1.Status, w2.Status)
+		} else if w1.Result != 0 || w2.Result != 2 {
+			// RC QP ordering: first FAA executes first.
 			t.Errorf("FAA results = %d, %d", w1.Result, w2.Result)
 		}
 	})

@@ -198,11 +198,17 @@ func (c *Ctx) CASSync(addr blade.Addr, compare, swap uint64) (old uint64, swappe
 	return wr.Result, false
 }
 
-// FAASync performs one FAA and waits for it.
+// FAASync performs one FAA and waits for it. A request the fault
+// model abandoned (retries exhausted) never executed remotely, so
+// there is no fetched value to return; the zero value is explicit
+// rather than read out of the dead request's payload.
 func (c *Ctx) FAASync(addr blade.Addr, add uint64) (old uint64) {
 	wr := c.FAA(addr, add)
 	c.PostSend()
 	c.Sync()
+	if wr.Status != rnic.StatusSuccess {
+		return 0
+	}
 	return wr.Result
 }
 

@@ -78,6 +78,7 @@ func (s *Set) AddFunc(label string, seed int64, exec, merge func()) {
 func Add[C, R any](s *Set, label string, seed int64, cfg C, run func(C) R, merge func(R)) {
 	var slot R
 	s.AddFunc(label, seed,
+		//smartlint:ignore pointisolation — slot is this point's own result cell: only this exec writes it, and only this point's merge reads it, after the exec completes
 		func() { slot = run(cfg) },
 		func() {
 			if merge != nil {

@@ -17,7 +17,9 @@ func TestMergeOrderIsEnumerationOrder(t *testing.T) {
 	set := &Set{}
 	p1Done := make(chan struct{})
 	var merges []int
+	//smartlint:ignore pointisolation — reviewed: the test couples the two points through p1Done on purpose, to force reverse completion order
 	set.AddFunc("p0", 0, func() { <-p1Done }, func() { merges = append(merges, 0) })
+	//smartlint:ignore pointisolation — reviewed: the test couples the two points through p1Done on purpose, to force reverse completion order
 	set.AddFunc("p1", 0, func() { close(p1Done) }, func() { merges = append(merges, 1) })
 	New(2).Run(set)
 	if len(merges) != 2 || merges[0] != 0 || merges[1] != 1 {
@@ -49,6 +51,7 @@ func TestWorkerBound(t *testing.T) {
 	var inFlight, peak atomic.Int64
 	set := &Set{}
 	for i := 0; i < points; i++ {
+		//smartlint:ignore pointisolation — reviewed: the shared atomics are the instrument; the test exists to measure cross-point concurrency
 		set.AddFunc(fmt.Sprintf("p%d", i), int64(i), func() {
 			cur := inFlight.Add(1)
 			for {
@@ -210,6 +213,7 @@ func TestMoreWorkersThanPoints(t *testing.T) {
 func TestProbeRecordsWithoutExecuting(t *testing.T) {
 	set := &Set{}
 	ran := false
+	//smartlint:ignore pointisolation — reviewed: ran is the tripwire; a probe sweeper must never call the exec at all
 	set.AddFunc("p0", 7, func() { ran = true }, func() { ran = true })
 	var got []string
 	sw := Probe(func(s *Set) { got = append(got, s.Labels()...) })

@@ -81,6 +81,10 @@ func TestQPOrderingPreserved(t *testing.T) {
 		qp.PostSend(p, wrs...)
 		cq.WaitN(p, 5)
 		for i, wr := range wrs {
+			if wr.Status != rnic.StatusSuccess {
+				t.Errorf("FAA %d status = %v", i, wr.Status)
+				continue
+			}
 			if wr.Result != uint64(i) {
 				t.Errorf("FAA %d saw %d, want %d (ordering violated)", i, wr.Result, i)
 			}
@@ -169,7 +173,9 @@ func TestMixedOpsOneBatch(t *testing.T) {
 		if string(g.Local) != "0123456789abcdef" {
 			t.Errorf("read after write in batch = %q", g.Local)
 		}
-		if f.Result != 0 {
+		if f.Status != rnic.StatusSuccess {
+			t.Errorf("FAA status = %v", f.Status)
+		} else if f.Result != 0 {
 			t.Errorf("FAA result = %d", f.Result)
 		}
 	})

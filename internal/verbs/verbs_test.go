@@ -89,7 +89,9 @@ func TestFAAThroughVerbs(t *testing.T) {
 			wr := FAA(addr, 10)
 			qp.PostSend(p, wr)
 			cq.WaitN(p, 1)
-			if wr.Result != i*10 {
+			if wr.Status != rnic.StatusSuccess {
+				t.Errorf("FAA %d status = %v", i, wr.Status)
+			} else if wr.Result != i*10 {
 				t.Errorf("FAA %d returned %d, want %d", i, wr.Result, i*10)
 			}
 		}
