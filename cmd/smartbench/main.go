@@ -20,10 +20,19 @@
 // (default 0 = GOMAXPROCS; 1 = sequential). Results merge in point
 // order, so every document — text, JSON, telemetry — is byte-identical
 // at any worker count; only the progress stream's timing lines differ.
-// -stats writes a small JSON record (worker count, per-experiment
-// point counts and wall-clock) so sweep speedups can be tracked; it is
-// kept out of the result documents on purpose, to preserve their
-// byte-identity across worker counts.
+//
+// -stats writes the versioned perf record (internal/perf.Record, the
+// BENCH_<n>.json schema): worker count, per-experiment point counts,
+// wall-clock and points/sec, plus kernel hot-path stats (events/sec
+// and allocs/event). It is kept out of the result documents on
+// purpose, to preserve their byte-identity across worker counts.
+// -perf-baseline compares the run's record against a checked-in one
+// and exits 1 when sweep or kernel throughput regressed by more than
+// -perf-tolerance (default 0.25); CI's perf-quick job runs exactly
+// that against bench_baseline.json.
+//
+// -cpuprofile and -memprofile write pprof profiles of the whole run,
+// for digging into regressions the gate reports.
 //
 // -telemetry additionally runs the instrumented (software Neo-Host)
 // variant of each selected experiment that has one and writes the
@@ -39,27 +48,36 @@
 // default plan; custom plans run fine but may legitimately fail
 // -check.
 //
-// Exit status: 0 on success, 1 when -check finds shape violations,
-// 2 on usage errors (no -exp, unknown ID, bad flag values, negative
-// -parallel, -telemetry or -trace with no instrumented experiment
-// selected, -faults with a malformed spec or without the chaos
-// experiment selected).
+// Exit status: 0 on success, 1 when -check finds shape violations or
+// -perf-baseline finds a throughput regression, 2 on usage errors (no
+// -exp, unknown ID, bad flag values, negative -parallel, -telemetry
+// or -trace with no instrumented experiment selected, -faults with a
+// malformed spec or without the chaos experiment selected, an
+// unwritable -cpuprofile/-memprofile path, or an unreadable
+// -perf-baseline record).
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/fault"
+	"repro/internal/perf"
 	"repro/internal/result"
 	"repro/internal/sweep"
 )
+
+// benchSeq is the sequence number stamped into the perf records this
+// build writes: -stats produces the BENCH_<benchSeq>.json document.
+// Bump it in the PR that re-records the perf trajectory.
+const benchSeq = 7
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -80,7 +98,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trace    = fs.Int("trace", 0, "keep the last N telemetry events of one instrumented run and dump them")
 		faults   = fs.String("faults", "", "fault plan for the chaos experiment: 'default' or a rule spec (see internal/fault)")
 		parallel = fs.Int("parallel", 0, "sweep-point workers per experiment (0 = GOMAXPROCS, 1 = sequential)")
-		stats    = fs.String("stats", "", "write sweep wall-clock stats (worker count, per-experiment points and ms) as JSON to this file")
+		stats    = fs.String("stats", "", "write the perf record (sweep points/sec + kernel hot-path stats) as JSON to this file")
+		perfBase = fs.String("perf-baseline", "", "compare this run's perf record against the given baseline; exit 1 on regression")
+		perfTol  = fs.Float64("perf-tolerance", 0.25, "allowed fractional throughput regression for -perf-baseline")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -108,6 +130,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *parallel < 0 {
 		fmt.Fprintf(stderr, "smartbench: -parallel %d is negative (want a worker count, or 0 for GOMAXPROCS)\n", *parallel)
+		return 2
+	}
+	if *perfTol < 0 || *perfTol >= 1 {
+		fmt.Fprintf(stderr, "smartbench: -perf-tolerance %v out of range [0, 1)\n", *perfTol)
 		return 2
 	}
 
@@ -171,6 +197,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// The baseline is read before any sweep time is spent: an
+	// unreadable record is a usage error, not a regression.
+	var baseline *perf.Record
+	if *perfBase != "" {
+		b, err := perf.Load(*perfBase)
+		if err != nil {
+			fmt.Fprintf(stderr, "smartbench: -perf-baseline: %v\n", err)
+			return 2
+		}
+		baseline = b
+	}
+
+	// Profiles cover the whole run (sweeps plus the kernel workloads a
+	// -stats run measures). Both files are created up front so a bad
+	// path is a usage error before any sweep time is spent.
+	var memProfFile *os.File
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintf(stderr, "smartbench: -memprofile: %v\n", err)
+			return 2
+		}
+		memProfFile = f
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(stderr, "smartbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "smartbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	// With -format json the document must be the only bytes on the
 	// render stream, so progress goes to stderr; text output keeps the
 	// banners inline as before.
@@ -207,7 +271,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// hook fires in merge order, so the completed/total lines are
 	// byte-identical across worker counts (only the timing lines vary).
 	sw := sweep.New(*parallel)
-	st := sweepStats{Workers: sw.Workers()}
+	rec := &perf.Record{Schema: perf.SchemaVersion, Bench: benchSeq, Workers: sw.Workers(), Quick: *quick}
 	totalStart := time.Now()
 	var violations []bench.Violation
 	for _, e := range selected {
@@ -241,12 +305,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 				reg.Trace().Write(progress)
 			}
 		}
-		st.Experiments = append(st.Experiments, expSweepStats{
-			ID: e.ID, Points: points, WallMS: time.Since(start).Milliseconds(),
+		wallMS := time.Since(start).Milliseconds()
+		rec.Experiments = append(rec.Experiments, perf.Experiment{
+			ID: e.ID, Points: points, WallMS: wallMS, PointsPerSec: perf.PerSec(points, wallMS),
 		})
+		rec.TotalPoints += points
 		fmt.Fprintf(progress, "\n[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
-	st.TotalWallMS = time.Since(totalStart).Milliseconds()
+	rec.TotalWallMS = time.Since(totalStart).Milliseconds()
+	rec.PointsPerSec = perf.PerSec(rec.TotalPoints, rec.TotalWallMS)
 	if *format == "json" {
 		if err := result.JSON(render, doc); err != nil {
 			fmt.Fprintf(stderr, "smartbench: %v\n", err)
@@ -270,12 +337,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(progress, "\n[telemetry written to %s]\n", *telem)
 	}
+	// Kernel hot-path stats are only measured when someone will read
+	// them: a -stats record or a -perf-baseline comparison.
+	if *stats != "" || *perfBase != "" {
+		fmt.Fprintf(progress, "\n[measuring kernel hot paths]\n")
+		rec.Kernel = perf.MeasureKernel()
+	}
 	if *stats != "" {
-		if err := writeStats(*stats, st); err != nil {
-			fmt.Fprintf(stderr, "smartbench: %v\n", err)
+		if err := rec.Write(*stats); err != nil {
+			fmt.Fprintf(stderr, "smartbench: -stats: %v\n", err)
 			return 2
 		}
-		fmt.Fprintf(progress, "\n[sweep stats written to %s]\n", *stats)
+		fmt.Fprintf(progress, "\n[perf record written to %s]\n", *stats)
+	}
+	if baseline != nil {
+		if bad := perf.Gate(baseline, rec, *perfTol); len(bad) > 0 {
+			fmt.Fprintf(stderr, "\nsmartbench: %d perf regression(s) vs %s:\n", len(bad), *perfBase)
+			for _, v := range bad {
+				fmt.Fprintf(stderr, "  FAIL %s\n", v)
+			}
+			return 1
+		}
+		fmt.Fprintf(progress, "\n[perf gate passed against %s]\n", *perfBase)
+	}
+	if memProfFile != nil {
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(memProfFile); err != nil {
+			fmt.Fprintf(stderr, "smartbench: -memprofile: %v\n", err)
+			return 2
+		}
+		if err := memProfFile.Close(); err != nil {
+			fmt.Fprintf(stderr, "smartbench: -memprofile: %v\n", err)
+			return 2
+		}
 	}
 
 	if *check {
@@ -289,35 +383,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(progress, "\nsmartbench: all shape checks passed\n")
 	}
 	return 0
-}
-
-// sweepStats is the -stats document: wall-clock and worker-count
-// bookkeeping, deliberately separate from the result documents (which
-// must stay byte-identical across worker counts).
-type sweepStats struct {
-	Workers     int             `json:"workers"`
-	Experiments []expSweepStats `json:"experiments"`
-	TotalWallMS int64           `json:"total_wall_ms"`
-}
-
-type expSweepStats struct {
-	ID     string `json:"id"`
-	Points int    `json:"points"`
-	WallMS int64  `json:"wall_ms"`
-}
-
-func writeStats(path string, st sweepStats) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(st); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 func printList(w io.Writer) {

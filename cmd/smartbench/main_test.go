@@ -2,12 +2,12 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/perf"
 	"repro/internal/result"
 )
 
@@ -35,6 +35,11 @@ func TestUsageErrorsExit2(t *testing.T) {
 		{"malformed faults spec", []string{"-exp", "chaos", "-faults", "explode@1ms-2ms"}, "unknown action"},
 		{"faults spec without window", []string{"-exp", "chaos", "-faults", "delay"}, "missing '@window'"},
 		{"faults without chaos selected", []string{"-exp", "fig4", "-faults", "default"}, "only applies to the chaos experiment"},
+		{"perf tolerance too high", []string{"-exp", "fig4", "-perf-tolerance", "1.5"}, "out of range"},
+		{"perf tolerance negative", []string{"-exp", "fig4", "-perf-tolerance", "-0.1"}, "out of range"},
+		{"unwritable cpuprofile", []string{"-exp", "fig4", "-cpuprofile", "no/such/dir/cpu.prof"}, "-cpuprofile"},
+		{"unwritable memprofile", []string{"-exp", "fig4", "-memprofile", "no/such/dir/mem.prof"}, "-memprofile"},
+		{"missing perf baseline", []string{"-exp", "fig4", "-quick", "-perf-baseline", "no/such/baseline.json"}, "-perf-baseline"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -170,20 +175,95 @@ func TestParallelByteIdentity(t *testing.T) {
 		t.Errorf("-parallel 1 and -parallel 3 rendered different documents:\n--- sequential\n%s\n--- parallel\n%s", seq, par)
 	}
 
-	// The stats sidecar must record the worker count and point count.
-	b, err := os.ReadFile(filepath.Join(dir, "stats_p3.json"))
+	// The perf record must carry the worker count, point count, and
+	// kernel hot-path stats under the versioned schema.
+	st, err := perf.Load(filepath.Join(dir, "stats_p3.json"))
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("stats file is not a valid perf record: %v", err)
 	}
-	var st sweepStats
-	if err := json.Unmarshal(b, &st); err != nil {
-		t.Fatalf("stats file is not valid JSON: %v", err)
+	if st.Schema != perf.SchemaVersion {
+		t.Errorf("stats schema = %d, want %d", st.Schema, perf.SchemaVersion)
 	}
 	if st.Workers != 3 {
 		t.Errorf("stats workers = %d, want 3", st.Workers)
 	}
 	if len(st.Experiments) != 1 || st.Experiments[0].ID != "fig4" || st.Experiments[0].Points == 0 {
 		t.Errorf("stats experiments = %+v, want one fig4 entry with points > 0", st.Experiments)
+	}
+	if st.TotalPoints != st.Experiments[0].Points || st.PointsPerSec <= 0 {
+		t.Errorf("stats totals = %d points at %.1f/sec, want totals matching the one experiment",
+			st.TotalPoints, st.PointsPerSec)
+	}
+	if len(st.Kernel) == 0 {
+		t.Error("stats record has no kernel hot-path stats")
+	}
+}
+
+// TestPerfGateRoundTrip runs a quick sweep with -stats, then replays it
+// with that record as -perf-baseline (must pass: same machine, same
+// build) and against an impossibly fast forged baseline (must fail with
+// exit 1). This is the CI perf-quick job in miniature.
+func TestPerfGateRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real sweep three times")
+	}
+	dir := t.TempDir()
+	base := filepath.Join(dir, "baseline.json")
+	code, _, stderr := runCLI("-exp", "fig4", "-quick", "-parallel", "2", "-stats", base)
+	if code != 0 {
+		t.Fatalf("baseline run: exit %d; stderr:\n%s", code, stderr)
+	}
+
+	code, stdout, stderr := runCLI("-exp", "fig4", "-quick", "-parallel", "2",
+		"-perf-baseline", base, "-perf-tolerance", "0.9")
+	if code != 0 {
+		t.Fatalf("self-comparison failed the gate: exit %d; stderr:\n%s", code, stderr)
+	}
+	// Text format with no -out: progress (and the verdict) is stdout.
+	if !strings.Contains(stdout, "perf gate passed") {
+		t.Errorf("progress stream missing the gate verdict:\n%s", stdout)
+	}
+
+	// Forge a baseline claiming ludicrous throughput: the gate must
+	// report the regression and exit 1.
+	rec, err := perf.Load(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.PointsPerSec *= 1e6
+	forged := filepath.Join(dir, "forged.json")
+	if err := rec.Write(forged); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runCLI("-exp", "fig4", "-quick", "-parallel", "2", "-perf-baseline", forged)
+	if code != 1 {
+		t.Fatalf("forged baseline: exit %d, want 1; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "sweep throughput regressed") {
+		t.Errorf("stderr missing the regression detail:\n%s", stderr)
+	}
+}
+
+// TestProfileFlagsWriteFiles pins the -cpuprofile/-memprofile happy
+// path: both files exist and are non-empty after a quick run.
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real sweep")
+	}
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.prof"), filepath.Join(dir, "mem.prof")
+	code, _, stderr := runCLI("-exp", "fig4", "-quick", "-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, stderr)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }
 

@@ -17,10 +17,13 @@ import (
 )
 
 // Exempt lists import-path prefixes where wall-clock use is allowed:
-// CLI front ends report real elapsed time to the terminal, which is
-// presentation, not simulation.
+// CLI front ends report real elapsed time to the terminal, and the
+// perf package times how fast the host executes simulations — both
+// are measurement of the simulator, not simulation, and neither feeds
+// a result table.
 var Exempt = []string{
 	"repro/cmd",
+	"repro/internal/perf",
 }
 
 // banned is the set of time-package functions that read the wall

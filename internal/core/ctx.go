@@ -74,10 +74,15 @@ func (c *Ctx) FAA(addr blade.Addr, add uint64) *verbs.WR {
 func (c *Ctx) PostSend() {
 	wrs := c.buf
 	c.buf = nil
-	for _, wr := range wrs {
+	for i, wr := range wrs {
+		wrs[i] = nil // the card owns the WR now; don't retain it here
 		wr.OnComplete = c.onComplete
 		c.post(wr)
 	}
+	// Reclaim the batch buffer for the next Read/Write/CAS/FAA round:
+	// only this coroutine appends to it, and the coroutine was parked
+	// inside the loop above, so nothing else touched c.buf meanwhile.
+	c.buf = wrs[:0]
 }
 
 // post sends one WR through the throttler to the card and, when the

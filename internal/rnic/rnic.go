@@ -165,7 +165,70 @@ type RNIC struct {
 
 	fault Injector // nil = every op succeeds (the pre-fault model)
 
+	flights []*flight // recycled in-flight path state (see flight)
+
 	C Counters
+}
+
+// flight is one op's trip through the card pipelines: the per-op state
+// every stage of the path needs, with each stage callback bound to the
+// flight exactly once, at creation. Flights are pooled per requester
+// card — before pooling, every submitted op allocated a fresh closure
+// per pipeline stage (about ten per op), which dominated the data
+// path's allocation rate once the verbs layer stopped allocating.
+//
+// A flight is recycled at its terminal stage: deliver, for both
+// successful and error completions (failAfter funnels into the same
+// completion stages). Blackholed ops never reach a terminal stage and
+// never take a flight — that path keeps its closures and leaves the
+// cleanup to the garbage collector, faults being far too rare to pool
+// for.
+type flight struct {
+	r          *RNIC // requester: pipelines on the way out and back, counters, pool
+	op         *Op
+	target     *RNIC // responder card
+	targetKind blade.Kind
+
+	outBytes, inBytes int
+	owl               sim.Time // one-way latency, including any injected delay factor
+	extraLat          sim.Time // extra outbound latency (MTT miss, retransmits)
+	mediaLat          sim.Time // responder media penalty (NVM)
+	missLat           sim.Time // WQE cache miss latency at completion
+	dma               int      // host-DRAM bytes charged at delivery
+	failStatus        Status   // failAfter: error to report
+	failWait          sim.Time // failAfter: NAK round trip / retry budget
+
+	// Stage callbacks, bound once: fnX invokes method X.
+	fnAfterReqPipe, fnAfterLinkOut, fnAtResponder func()
+	fnAfterRespPipe, fnFinish, fnFire             func()
+	fnAfterReturnWire, fnAtCompletion             func()
+	fnPreDeliver, fnDeliver                       func()
+	fnFailPipe, fnFailLink, fnFailDeliver         func()
+}
+
+// newFlight returns a pooled (or freshly bound) flight for one op.
+func (r *RNIC) newFlight() *flight {
+	if n := len(r.flights); n > 0 {
+		f := r.flights[n-1]
+		r.flights[n-1] = nil
+		r.flights = r.flights[:n-1]
+		return f
+	}
+	f := &flight{r: r}
+	f.fnAfterReqPipe = f.afterReqPipe
+	f.fnAfterLinkOut = f.afterLinkOut
+	f.fnAtResponder = f.atResponder
+	f.fnAfterRespPipe = f.afterRespPipe
+	f.fnFinish = f.finish
+	f.fnFire = f.fire
+	f.fnAfterReturnWire = f.afterReturnWire
+	f.fnAtCompletion = f.atCompletion
+	f.fnPreDeliver = f.preDeliver
+	f.fnDeliver = f.deliver
+	f.fnFailPipe = f.failPipe
+	f.fnFailLink = f.failLink
+	f.fnFailDeliver = f.failDeliver
+	return f
 }
 
 // New returns an RNIC bound to the engine with the given parameters.
@@ -316,21 +379,11 @@ func (r *RNIC) Submit(op *Op, target *RNIC, targetKind blade.Kind) {
 		}
 	}
 
-	r.reqPipe.Submit(service, func() {
-		r.linkOut.Submit(r.linkTime(outBytes), func() {
-			r.eng.Schedule(owl+extraLat, func() {
-				target.respond(op, targetKind, func() {
-					// Response travels back; charge the requester's
-					// inbound link, then process the completion.
-					r.eng.Schedule(owl, func() {
-						r.linkIn.Submit(r.linkTime(inBytes), func() {
-							r.complete(op)
-						})
-					})
-				})
-			})
-		})
-	})
+	f := r.newFlight()
+	f.op, f.target, f.targetKind = op, target, targetKind
+	f.outBytes, f.inBytes = outBytes, inBytes
+	f.owl, f.extraLat = owl, extraLat
+	r.reqPipe.Submit(service, f.fnAfterReqPipe)
 }
 
 // failAfter runs op through the requester pipeline and outbound link,
@@ -338,95 +391,141 @@ func (r *RNIC) Submit(op *Op, target *RNIC, targetKind blade.Kind) {
 // the exhausted transport retry budget). The responder is never
 // touched: an erroring op applies no memory side effect.
 func (r *RNIC) failAfter(op *Op, st Status, service sim.Time, outBytes int, wait sim.Time) {
-	r.reqPipe.Submit(service, func() {
-		r.linkOut.Submit(r.linkTime(outBytes), func() {
-			r.eng.Schedule(wait, func() {
-				op.Status = st
-				r.complete(op)
-			})
-		})
-	})
+	f := r.newFlight()
+	f.op, f.outBytes = op, outBytes
+	f.failStatus, f.failWait = st, wait
+	r.reqPipe.Submit(service, f.fnFailPipe)
 }
 
-// respond runs op through this card's responder path and then invokes
-// done. The memory side effect (op.Exec) happens here, at the moment
-// the real card would apply it, so all blade accesses are linearized
-// in virtual-time order. Persistent-memory media time is modeled as
-// added latency, not pipeline occupancy: the memory controller absorbs
-// the access while the RNIC moves on.
-func (r *RNIC) respond(op *Op, kind blade.Kind, done func()) {
-	p := &r.P
-	mediaLat := sim.Time(0)
-	if kind == blade.NVM {
-		switch op.Kind {
+// The outbound stages: requester pipeline, outbound link, wire.
+
+func (f *flight) afterReqPipe() {
+	f.r.linkOut.Submit(f.r.linkTime(f.outBytes), f.fnAfterLinkOut)
+}
+
+func (f *flight) afterLinkOut() {
+	f.r.eng.Schedule(f.owl+f.extraLat, f.fnAtResponder)
+}
+
+// The responder stages. The memory side effect (op.Exec) happens here,
+// at the moment the real card would apply it, so all blade accesses
+// are linearized in virtual-time order. Persistent-memory media time
+// is modeled as added latency, not pipeline occupancy: the memory
+// controller absorbs the access while the RNIC moves on.
+
+func (f *flight) atResponder() {
+	t := f.target
+	f.mediaLat = 0
+	if f.targetKind == blade.NVM {
+		switch f.op.Kind {
 		case OpRead:
-			mediaLat = p.NVMReadExtra
+			f.mediaLat = t.P.NVMReadExtra
 		default:
-			mediaLat = p.NVMWriteExtra
+			f.mediaLat = t.P.NVMWriteExtra
 		}
 	}
-	finish := func() {
-		fire := func() {
-			if op.Exec != nil {
-				op.Exec()
-			}
-			done()
-		}
-		if mediaLat > 0 {
-			r.eng.Schedule(mediaLat, fire)
-		} else {
-			fire()
-		}
-	}
-	r.respPipe.Submit(p.ResponderService, func() {
-		if op.Kind == OpCAS || op.Kind == OpFAA {
-			r.C.AtomicOps++
-			r.atomicUnit.Submit(p.AtomicUnitService, finish)
-		} else {
-			finish()
-		}
-	})
+	t.respPipe.Submit(t.P.ResponderService, f.fnAfterRespPipe)
 }
 
-// complete processes the response at the requester: WQE cache lookup
-// (with outstanding-dependent hit rate), pipeline occupancy for the
-// CQE, DMA accounting, and finally CQE delivery via op.Complete.
-func (r *RNIC) complete(op *Op) {
-	p := &r.P
+func (f *flight) afterRespPipe() {
+	t := f.target
+	if f.op.Kind == OpCAS || f.op.Kind == OpFAA {
+		t.C.AtomicOps++
+		t.atomicUnit.Submit(t.P.AtomicUnitService, f.fnFinish)
+	} else {
+		f.finish()
+	}
+}
+
+func (f *flight) finish() {
+	if f.mediaLat > 0 {
+		f.r.eng.Schedule(f.mediaLat, f.fnFire)
+	} else {
+		f.fire()
+	}
+}
+
+func (f *flight) fire() {
+	if f.op.Exec != nil {
+		f.op.Exec()
+	}
+	// Response travels back; charge the requester's inbound link, then
+	// process the completion.
+	f.r.eng.Schedule(f.owl, f.fnAfterReturnWire)
+}
+
+func (f *flight) afterReturnWire() {
+	f.r.linkIn.Submit(f.r.linkTime(f.inBytes), f.fnAtCompletion)
+}
+
+// The completion stages: WQE cache lookup (with outstanding-dependent
+// hit rate), pipeline occupancy for the CQE, DMA accounting, and
+// finally CQE delivery via op.Complete.
+
+func (f *flight) atCompletion() {
+	r, p := f.r, &f.r.P
 	service := p.CQEService
-	missLat := sim.Time(0)
-	dma := p.BaseDMABytes + op.Payload
+	f.missLat = 0
+	f.dma = p.BaseDMABytes + f.op.Payload
 	if r.outstanding > p.WQECacheEntries {
 		pMiss := 1.0 - float64(p.WQECacheEntries)/float64(r.outstanding)
 		if r.eng.Rand().Float64() < pMiss {
 			r.C.WQEMisses++
 			service += p.WQEMissPipe
-			missLat = p.WQEMissLatency
-			dma += p.WQEMissDMABytes
+			f.missLat = p.WQEMissLatency
+			f.dma += p.WQEMissDMABytes
 		}
 	}
-	r.reqPipe.Submit(service, func() {
-		deliver := func() {
-			r.outstanding--
-			if op.Status == StatusSuccess {
-				r.C.Completed++
-				r.C.ByKind[op.Kind]++
-			} else {
-				// Error completions are counted separately so MOPS
-				// computed from Completed dips during a fault window.
-				r.C.Errors++
-			}
-			r.C.DMABytes += uint64(dma)
-			if op.Complete != nil {
-				op.Complete()
-			}
-		}
-		if missLat > 0 {
-			r.eng.Schedule(missLat, deliver)
-		} else {
-			deliver()
-		}
-	})
+	r.reqPipe.Submit(service, f.fnPreDeliver)
+}
+
+func (f *flight) preDeliver() {
+	if f.missLat > 0 {
+		f.r.eng.Schedule(f.missLat, f.fnDeliver)
+	} else {
+		f.deliver()
+	}
+}
+
+// deliver is the terminal stage: it recycles the flight and then
+// invokes op.Complete. The order lets a completion handler that
+// reposts immediately (the common coroutine pattern) reuse this very
+// flight; nothing touches the flight after Complete runs.
+func (f *flight) deliver() {
+	r, op, dma := f.r, f.op, f.dma
+	f.op = nil
+	f.target = nil
+	r.flights = append(r.flights, f)
+	r.outstanding--
+	if op.Status == StatusSuccess {
+		r.C.Completed++
+		r.C.ByKind[op.Kind]++
+	} else {
+		// Error completions are counted separately so MOPS computed
+		// from Completed dips during a fault window.
+		r.C.Errors++
+	}
+	r.C.DMABytes += uint64(dma)
+	if op.Complete != nil {
+		op.Complete()
+	}
+}
+
+// The failAfter stages: requester pipeline and outbound link as usual,
+// then the error verdict lands after the configured wait and funnels
+// into the shared completion stages.
+
+func (f *flight) failPipe() {
+	f.r.linkOut.Submit(f.r.linkTime(f.outBytes), f.fnFailLink)
+}
+
+func (f *flight) failLink() {
+	f.r.eng.Schedule(f.failWait, f.fnFailDeliver)
+}
+
+func (f *flight) failDeliver() {
+	f.op.Status = f.failStatus
+	f.atCompletion()
 }
 
 // Snapshot returns a copy of the counters, for windowed measurements.

@@ -10,10 +10,19 @@
 // hand control back to the engine whenever they sleep or block, so no
 // further synchronization is needed inside models built on top of the
 // kernel, and runs are fully deterministic for a given seed.
+//
+// Hot-path design (DESIGN.md §14): timed callbacks live in a
+// value-typed 4-ary min-heap ([]event, branchless comparisons, no
+// per-event allocation), while
+// same-timestamp process activations (Proc.Wake, zero Sleeps — every
+// CQE delivery and mutex handoff) bypass the heap through a FIFO run
+// queue. Both structures share one sequence counter, and the engine
+// always executes whichever head has the smaller (timestamp, seq), so
+// the firing order is bit-for-bit the order a single heap would
+// produce — the determinism contract the golden files pin.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -42,53 +51,29 @@ func (t Time) String() string {
 	}
 }
 
-// event is a scheduled callback. Events with equal timestamps fire in
-// scheduling order (seq breaks ties), which keeps runs deterministic.
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
-
 // Engine is a discrete-event simulator. The zero value is not usable;
 // construct one with New.
 type Engine struct {
 	now     Time
-	heap    eventHeap
+	eq      eventQueue
+	runq    runQueue
 	seq     uint64
 	rng     *rand.Rand
+	yield   chan struct{} // process -> engine: the baton is back
 	stopped bool
 	procs   int     // live (started, not finished) processes, for diagnostics
 	live    []*Proc // every process ever spawned; Stop unwinds the parked ones
 	parks   uint64  // times any process handed the baton back (park)
 	wakes   uint64  // times any process was resumed (activate)
+	events  uint64  // events executed (timer fires + process activations)
 }
 
 // New returns an engine whose clock starts at zero and whose random
 // stream is seeded with seed. Equal seeds give identical runs.
 func New(seed int64) *Engine {
 	return &Engine{
-		rng: rand.New(rand.NewSource(seed)),
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
 	}
 }
 
@@ -102,8 +87,9 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Procs reports the number of live simulated processes.
 func (e *Engine) Procs() int { return e.procs }
 
-// Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending reports the number of queued events, counting both timed
+// events and pending same-timestamp activations.
+func (e *Engine) Pending() int { return len(e.eq) + e.runq.len() }
 
 // Parks reports how many times any process parked (handed the baton
 // back to the engine) over the engine's lifetime. Telemetry reads it
@@ -113,6 +99,14 @@ func (e *Engine) Parks() uint64 { return e.parks }
 // Wakes reports how many times any process was activated. Paired with
 // Parks it bounds how much baton traffic a configuration generates.
 func (e *Engine) Wakes() uint64 { return e.wakes }
+
+// Events reports how many events the engine has executed — timer
+// callbacks plus process activations, including run-queue activations
+// that never touched the heap. It is the denominator of the kernel's
+// events-per-second perf metric (internal/perf); it feeds no result
+// table, but like every engine counter it is deterministic for a
+// given seed.
+func (e *Engine) Events() uint64 { return e.events }
 
 // Schedule queues fn to run after delay. A negative delay is treated
 // as zero. Must be called from engine context.
@@ -124,7 +118,7 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 }
 
 // ScheduleAt queues fn to run at the absolute virtual time at. Times in
-// the past are clamped to now.
+// the past are clamped to now. After Stop it is a no-op.
 func (e *Engine) ScheduleAt(at Time, fn func()) {
 	if e.stopped {
 		return
@@ -133,21 +127,77 @@ func (e *Engine) ScheduleAt(at Time, fn func()) {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.heap, &event{at: at, seq: e.seq, fn: fn})
+	e.eq.push(event{at: at, seq: e.seq, fn: fn})
+}
+
+// enqueueRun queues a same-timestamp activation for p. It shares the
+// sequence counter with ScheduleAt, so run-queue entries and heap
+// events at the same timestamp interleave exactly as if both had gone
+// through the heap.
+func (e *Engine) enqueueRun(p *Proc) {
+	if e.stopped {
+		return
+	}
+	e.seq++
+	e.runq.push(e.seq, p)
+}
+
+// runqFirst reports whether the run-queue head fires before the heap
+// top. Run-queue entries are always stamped at the current virtual
+// time, so the head precedes any strictly later heap event, and seq
+// decides against heap events at the same timestamp.
+func (e *Engine) runqFirst() bool {
+	if e.runq.empty() {
+		return false
+	}
+	if len(e.eq) == 0 {
+		return true
+	}
+	top := &e.eq[0]
+	return top.at > e.now || top.seq > e.runq.headSeq()
+}
+
+// activateRun resumes a run-queue process from the engine loop and
+// waits for the baton to come back. Activations for processes that
+// finished in the meantime are dropped without counting, exactly as
+// the old heap-scheduled activation events were.
+func (e *Engine) activateRun(p *Proc) {
+	if p.done {
+		return
+	}
+	e.wakes++
+	p.resume <- struct{}{}
+	<-e.yield
 }
 
 // Run executes events in timestamp order until the queue drains or the
 // clock passes until (if until > 0). It returns the virtual time at
-// which it stopped.
+// which it stopped. After Stop, Run is a no-op that reports the time
+// the simulation stopped at.
 func (e *Engine) Run(until Time) Time {
-	for len(e.heap) > 0 {
-		ev := e.heap[0]
-		if until > 0 && ev.at > until {
+	if e.stopped {
+		return e.now
+	}
+	for {
+		if e.runqFirst() {
+			if until > 0 && e.now > until {
+				e.now = until
+				return e.now
+			}
+			e.events++
+			e.activateRun(e.runq.pop())
+			continue
+		}
+		if len(e.eq) == 0 {
+			break
+		}
+		if until > 0 && e.eq[0].at > until {
 			e.now = until
 			return e.now
 		}
-		heap.Pop(&e.heap)
+		ev := e.eq.pop()
 		e.now = ev.at
+		e.events++
 		ev.fn()
 	}
 	if until > e.now {
@@ -157,22 +207,36 @@ func (e *Engine) Run(until Time) Time {
 }
 
 // Step executes the single next event, if any, and reports whether one
-// was executed. It is mostly useful in tests.
+// was executed. It is mostly useful in tests. A run-queue activation
+// counts as one event; process activations chained through the
+// direct-handoff fast path (see Proc.park) execute within that one
+// step. After Stop, Step reports false.
 func (e *Engine) Step() bool {
-	if len(e.heap) == 0 {
+	if e.stopped {
 		return false
 	}
-	ev := heap.Pop(&e.heap).(*event)
+	if e.runqFirst() {
+		e.events++
+		e.activateRun(e.runq.pop())
+		return true
+	}
+	if len(e.eq) == 0 {
+		return false
+	}
+	ev := e.eq.pop()
 	e.now = ev.at
+	e.events++
 	ev.fn()
 	return true
 }
 
 // Stop terminates the simulation: all parked processes are unwound and
-// their goroutines exit. After Stop the engine must not be reused.
-// Stop is idempotent. It must be called from outside the simulation
-// (never from a process body or event callback), and deferred cleanup
-// in process bodies must not block on simulation primitives.
+// their goroutines exit. After Stop the engine must not be reused:
+// Schedule and Wake become no-ops, Run returns immediately, and Step
+// reports false. Stop is idempotent. It must be called from outside
+// the simulation (never from a process body or event callback), and
+// deferred cleanup in process bodies must not block on simulation
+// primitives.
 //
 // Processes are unwound ONE AT A TIME: each parked process's kill
 // channel is closed and Stop waits for its goroutine to finish
@@ -187,7 +251,8 @@ func (e *Engine) Stop() {
 		return
 	}
 	e.stopped = true
-	e.heap = nil
+	e.eq = nil
+	e.runq.reset()
 	for _, p := range e.live {
 		if !p.done {
 			close(p.kill)

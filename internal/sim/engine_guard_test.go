@@ -1,0 +1,140 @@
+package sim
+
+import "testing"
+
+// These tests pin the engine's lifecycle guards: what Schedule, Run,
+// Step, and Wake are allowed to do after Stop, and what waking a
+// finished process may (not) count or enqueue.
+
+func TestRunAfterStopIsNoOp(t *testing.T) {
+	e := New(1)
+	e.Schedule(5*Nanosecond, func() {})
+	e.Run(0)
+	e.Stop()
+	fired := false
+	e.Schedule(1*Nanosecond, func() { fired = true })
+	if got := e.Run(0); got != 5 {
+		t.Fatalf("Run after Stop = %v, want the stop-time 5", got)
+	}
+	if got := e.Run(100 * Nanosecond); got != 5 {
+		t.Fatalf("Run(until) after Stop = %v, want the stop-time 5", got)
+	}
+	if fired {
+		t.Fatal("event scheduled after Stop fired")
+	}
+}
+
+func TestStepAfterStopReportsFalse(t *testing.T) {
+	e := New(1)
+	e.Schedule(1*Nanosecond, func() {})
+	e.Stop()
+	if e.Step() {
+		t.Fatal("Step after Stop reported true")
+	}
+}
+
+func TestStepDrainsRunQueueFirst(t *testing.T) {
+	// A woken process and a same-timestamp timer must execute in
+	// scheduling order under Step, exactly as under Run.
+	e := New(1)
+	defer e.Stop()
+	var order []string
+	p := e.Go("w", func(p *Proc) {
+		p.Suspend()
+		order = append(order, "proc")
+	})
+	e.Run(0) // park the process
+	e.Schedule(0, func() { order = append(order, "timer") })
+	p.Wake() // enqueued after the timer: must run second
+	for e.Step() {
+	}
+	if len(order) != 2 || order[0] != "timer" || order[1] != "proc" {
+		t.Fatalf("Step order = %v, want [timer proc]", order)
+	}
+}
+
+func TestWakeOnDoneProcEnqueuesNothing(t *testing.T) {
+	e := New(1)
+	defer e.Stop()
+	p := e.Go("quick", func(p *Proc) {})
+	e.Run(0)
+	if !p.Done() {
+		t.Fatal("process did not finish")
+	}
+	wakes, pending := e.Wakes(), e.Pending()
+	p.Wake()
+	p.Wake()
+	if got := e.Pending(); got != pending {
+		t.Fatalf("Pending after waking a done proc = %d, want %d (nothing enqueued)", got, pending)
+	}
+	if got := e.Wakes(); got != wakes {
+		t.Fatalf("Wakes after waking a done proc = %d, want %d (no spurious wakes counted)", got, wakes)
+	}
+	e.Run(0)
+	if got := e.Wakes(); got != wakes {
+		t.Fatalf("Wakes after draining = %d, want %d", got, wakes)
+	}
+}
+
+func TestDoubleWakeSecondActivationDropped(t *testing.T) {
+	// Both wakes are issued while the target is alive and suspended,
+	// but the first activation lets the target finish — the second
+	// must be dropped at drain time without counting a wake.
+	e := New(1)
+	defer e.Stop()
+	var target *Proc
+	target = e.Go("target", func(p *Proc) {
+		p.Suspend()
+	})
+	e.Go("waker", func(p *Proc) {
+		p.Sleep(1 * Nanosecond)
+		target.Wake()
+		target.Wake()
+	})
+	e.Run(0)
+	if !target.Done() {
+		t.Fatal("target did not finish")
+	}
+	// Wakes: the two initial activations, the waker's timer wake, and
+	// exactly ONE wake for the double-woken target.
+	if got := e.Wakes(); got != 4 {
+		t.Fatalf("Wakes = %d, want 4 (second activation of a finished proc must not count)", got)
+	}
+}
+
+func TestScheduleAfterStopIsNoOp(t *testing.T) {
+	e := New(1)
+	e.Stop()
+	e.Schedule(1*Nanosecond, func() { t.Fatal("event after Stop fired") })
+	e.ScheduleAt(1*Nanosecond, func() { t.Fatal("event after Stop fired") })
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after post-Stop scheduling = %d, want 0", e.Pending())
+	}
+	e.Run(0)
+}
+
+func TestEventsCounter(t *testing.T) {
+	e := New(1)
+	defer e.Stop()
+	if e.Events() != 0 {
+		t.Fatalf("fresh engine Events = %d, want 0", e.Events())
+	}
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i)*Nanosecond, func() {})
+	}
+	e.Run(0)
+	if e.Events() != 5 {
+		t.Fatalf("Events after 5 timers = %d, want 5", e.Events())
+	}
+	n := 0
+	e.Go("spin", func(p *Proc) {
+		for ; n < 3; n++ {
+			p.Sleep(0)
+		}
+	})
+	e.Run(0)
+	// Activations count too: initial activation + 3 zero-sleeps.
+	if e.Events() != 5+4 {
+		t.Fatalf("Events after park/wake chain = %d, want 9", e.Events())
+	}
+}

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refQueue is the event queue the kernel used before the value-typed
+// rewrite: a container/heap over *event pointers. It is kept here,
+// private to the tests, as the differential oracle — the hand-rolled
+// heap must drain any workload in exactly the order this one does,
+// because that order is what the golden files pin.
+type refQueue []*event
+
+func (q refQueue) Len() int            { return len(q) }
+func (q refQueue) Less(i, j int) bool  { return q[i].before(*q[j]) }
+func (q refQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *refQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *refQueue) Pop() interface{} {
+	old := *q
+	n := len(old) - 1
+	ev := old[n]
+	old[n] = nil
+	*q = old[:n]
+	return ev
+}
+
+// checkSameOrder pushes the given events into both queues and verifies
+// the hand-rolled heap pops them in exactly the reference order.
+func checkSameOrder(t *testing.T, events []event) {
+	t.Helper()
+	var got eventQueue
+	ref := &refQueue{}
+	for i := range events {
+		got.push(events[i])
+		cp := events[i]
+		heap.Push(ref, &cp)
+	}
+	for i := 0; ref.Len() > 0; i++ {
+		want := heap.Pop(ref).(*event)
+		if len(got) == 0 {
+			t.Fatalf("pop %d: hand-rolled heap drained early (want %d events)", i, len(events))
+		}
+		have := got.pop()
+		if have.at != want.at || have.seq != want.seq {
+			t.Fatalf("pop %d: got (at=%d seq=%d), reference says (at=%d seq=%d)",
+				i, have.at, have.seq, want.at, want.seq)
+		}
+	}
+	if len(got) != 0 {
+		t.Fatalf("hand-rolled heap has %d events left after reference drained", len(got))
+	}
+}
+
+// TestEventQueueShapes drains fixed adversarial shapes through both
+// queues: sorted, reverse-sorted, all-equal timestamps, and a sawtooth.
+func TestEventQueueShapes(t *testing.T) {
+	sorted := make([]event, 64)
+	reversed := make([]event, 64)
+	equal := make([]event, 64)
+	sawtooth := make([]event, 64)
+	for i := range sorted {
+		sorted[i] = event{at: Time(i), seq: uint64(i + 1)}
+		reversed[i] = event{at: Time(64 - i), seq: uint64(i + 1)}
+		equal[i] = event{at: 7 * Nanosecond, seq: uint64(i + 1)}
+		sawtooth[i] = event{at: Time(i % 5), seq: uint64(i + 1)}
+	}
+	checkSameOrder(t, nil)
+	checkSameOrder(t, sorted[:1])
+	checkSameOrder(t, sorted)
+	checkSameOrder(t, reversed)
+	checkSameOrder(t, equal)
+	checkSameOrder(t, sawtooth)
+}
+
+// TestEventQueueDifferential replays seeded randomized workloads —
+// interleaved pushes and pops with heavy same-timestamp bursts —
+// against both the hand-rolled heap and the container/heap reference,
+// and requires identical pop sequences throughout, not just at drain
+// time.
+func TestEventQueueDifferential(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 42, 12345} {
+		rng := rand.New(rand.NewSource(seed))
+		var got eventQueue
+		ref := &refQueue{}
+		var seq uint64
+		now := Time(0)
+		push := func(at Time) {
+			seq++
+			ev := event{at: at, seq: seq}
+			got.push(ev)
+			cp := ev
+			heap.Push(ref, &cp)
+		}
+		for op := 0; op < 20000; op++ {
+			switch r := rng.Intn(10); {
+			case r < 4: // random future push
+				push(now + Time(rng.Intn(500)))
+			case r < 6: // same-timestamp burst, the run-queue-like shape
+				at := now + Time(rng.Intn(50))
+				for k, n := 0, 2+rng.Intn(6); k < n; k++ {
+					push(at)
+				}
+			case r < 7: // push at exactly now (zero-delay event)
+				push(now)
+			default: // pop and advance the clock
+				if ref.Len() == 0 {
+					continue
+				}
+				want := heap.Pop(ref).(*event)
+				have := got.pop()
+				if have.at != want.at || have.seq != want.seq {
+					t.Fatalf("seed %d op %d: got (at=%d seq=%d), want (at=%d seq=%d)",
+						seed, op, have.at, have.seq, want.at, want.seq)
+				}
+				if have.at > now {
+					now = have.at
+				}
+			}
+			if len(got) != ref.Len() {
+				t.Fatalf("seed %d op %d: length diverged: %d vs %d", seed, op, len(got), ref.Len())
+			}
+		}
+		for ref.Len() > 0 {
+			want := heap.Pop(ref).(*event)
+			have := got.pop()
+			if have.at != want.at || have.seq != want.seq {
+				t.Fatalf("seed %d drain: got (at=%d seq=%d), want (at=%d seq=%d)",
+					seed, have.at, have.seq, want.at, want.seq)
+			}
+		}
+	}
+}
+
+// TestEventQueueSameTimestampFIFO pins the determinism contract
+// directly: events at one timestamp pop in scheduling (seq) order.
+func TestEventQueueSameTimestampFIFO(t *testing.T) {
+	var q eventQueue
+	for i := uint64(1); i <= 100; i++ {
+		q.push(event{at: 7 * Nanosecond, seq: i})
+	}
+	for i := uint64(1); i <= 100; i++ {
+		if ev := q.pop(); ev.seq != i {
+			t.Fatalf("same-timestamp pop: got seq %d, want %d", ev.seq, i)
+		}
+	}
+}
+
+// FuzzEventQueueOrdering feeds arbitrary byte strings as push/pop
+// scripts to the hand-rolled heap and the container/heap reference and
+// requires identical behaviour — the same contract the seeded
+// differential test checks, but with fuzzer-chosen adversarial
+// workloads. CI runs it with a short -fuzztime budget on every push.
+func FuzzEventQueueOrdering(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{1, 2, 3, 255, 255, 4, 4, 4})
+	f.Add([]byte{255, 0, 255, 0, 128, 7, 7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		var got eventQueue
+		ref := &refQueue{}
+		var seq uint64
+		for _, b := range script {
+			if b >= 224 { // ~1/8 of byte space: pop
+				if ref.Len() == 0 {
+					continue
+				}
+				want := heap.Pop(ref).(*event)
+				have := got.pop()
+				if have.at != want.at || have.seq != want.seq {
+					t.Fatalf("pop: got (at=%d seq=%d), want (at=%d seq=%d)",
+						have.at, have.seq, want.at, want.seq)
+				}
+				continue
+			}
+			// Push with the byte as the timestamp: small range, so
+			// same-timestamp collisions (the interesting case) are common.
+			seq++
+			ev := event{at: Time(b), seq: seq}
+			got.push(ev)
+			cp := ev
+			heap.Push(ref, &cp)
+		}
+		for ref.Len() > 0 {
+			want := heap.Pop(ref).(*event)
+			if len(got) == 0 {
+				t.Fatal("hand-rolled heap drained early")
+			}
+			have := got.pop()
+			if have.at != want.at || have.seq != want.seq {
+				t.Fatalf("drain: got (at=%d seq=%d), want (at=%d seq=%d)",
+					have.at, have.seq, want.at, want.seq)
+			}
+		}
+		if len(got) != 0 {
+			t.Fatalf("hand-rolled heap has %d events left after reference drained", len(got))
+		}
+	})
+}

@@ -5,18 +5,26 @@ package sim
 // Compute-blade threads and SMART coroutines are both modeled as Procs.
 //
 // Race-freedom of the handoff. Although every Proc is a real
-// goroutine, engine state (Engine.now, the event heap, Engine.procs)
+// goroutine, engine state (Engine.now, the event queues, Engine.procs)
 // and process state (Proc.done) are accessed without locks. This is
-// sound because control is passed like a baton over the two unbuffered
+// sound because control is passed like a baton over unbuffered
 // channels, and each baton pass is a happens-before edge:
 //
-//   - engine -> process: activate's send on p.resume happens-before
-//     block's receive, so every engine-side write (heap pops, clock
-//     advance) is visible to the process when it resumes;
-//   - process -> engine: park's (or the final handoff's) send on
-//     p.yield happens-before activate's receive, so every
-//     process-side write (events scheduled via Schedule, procs--,
-//     done = true) is visible to the engine before it runs again;
+//   - engine -> process: the activation's send on p.resume
+//     happens-before block's receive, so every engine-side write
+//     (queue pops, clock advance) is visible to the process when it
+//     resumes;
+//   - process -> process: when a parking process hands the baton
+//     directly to the next same-timestamp runnable (the run-queue fast
+//     path), its send on next.resume happens-before next's receive,
+//     so all of the parker's writes are visible to the next process
+//     without the engine goroutine ever waking;
+//   - process -> engine: when no direct handoff applies, park's (or
+//     the final handoff's) send on the engine's shared yield channel
+//     happens-before the engine's receive in the activation that
+//     started the chain, so every process-side write (events
+//     scheduled via Schedule, procs--, done = true) is visible to the
+//     engine before it runs again;
 //   - shutdown: Stop closes one parked process's kill channel at a
 //     time and waits for that goroutine's dead channel to close before
 //     unwinding the next, so the close(kill) -> select receive ->
@@ -25,20 +33,21 @@ package sim
 //     shared by a thread's coroutines) never run concurrently, and all
 //     of their writes are visible when Stop returns.
 //
-// Between a resume-send and the matching yield-receive the engine
-// goroutine is blocked (activate is synchronous), and a process
-// goroutine only runs between a resume-receive and its next
-// yield-send, so the baton chain alternates strictly and no two
-// accesses to shared state are ever concurrent. `go test -race
+// The engine goroutine blocks on the shared yield channel from the
+// moment it activates a process until some process in the ensuing
+// handoff chain yields; every chain performs exactly one yield-send.
+// A process goroutine only runs between a resume-receive and its next
+// handoff or yield-send, so the baton chain alternates strictly and no
+// two accesses to shared state are ever concurrent. `go test -race
 // ./internal/sim/...` (wired into CI) checks this invariant.
 type Proc struct {
-	eng    *Engine
-	name   string
-	resume chan struct{} // engine -> process: continue running
-	yield  chan struct{} // process -> engine: I have parked or finished
-	kill   chan struct{} // closed by Stop: unwind via killProc
-	dead   chan struct{} // closed by the goroutine once fully unwound
-	done   bool
+	eng        *Engine
+	name       string
+	resume     chan struct{} // predecessor in the baton chain -> process: continue running
+	kill       chan struct{} // closed by Stop: unwind via killProc
+	dead       chan struct{} // closed by the goroutine once fully unwound
+	activateFn func()        // pre-bound activate, reused by every timed wake
+	done       bool
 }
 
 // killProc is panicked inside a parked process when the engine shuts
@@ -54,10 +63,12 @@ func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
 		eng:    e,
 		name:   name,
 		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
 		kill:   make(chan struct{}),
 		dead:   make(chan struct{}),
 	}
+	// One method-value allocation per process, reused by every
+	// Sleep-scheduled activation for its whole lifetime.
+	p.activateFn = p.activate
 	e.procs++
 	e.live = append(e.live, p)
 	go func() {
@@ -74,9 +85,9 @@ func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
 		body(p)
 		p.done = true
 		p.eng.procs--
-		p.yield <- struct{}{} // final handoff back to the engine
+		p.eng.yield <- struct{}{} // final handoff back to the engine
 	}()
-	e.Schedule(0, func() { p.activate() })
+	e.enqueueRun(p)
 	return p
 }
 
@@ -92,19 +103,21 @@ func (p *Proc) Now() Time { return p.eng.now }
 // Done reports whether the process body has returned.
 func (p *Proc) Done() bool { return p.done }
 
-// activate resumes the process and waits for it to park again. It must
-// be called from engine context (an event callback).
+// activate resumes the process and waits for the baton to come back to
+// the engine. It is the pre-bound callback (activateFn) that timed
+// wakes schedule on the event heap; it must run in engine context.
 func (p *Proc) activate() {
 	if p.done {
 		return // spurious wake after the process finished
 	}
-	p.eng.wakes++
+	e := p.eng
+	e.wakes++
 	p.resume <- struct{}{}
-	<-p.yield
+	<-e.yield
 }
 
-// block waits for the engine to hand control to this process. Called
-// from the process's own goroutine.
+// block waits for the baton to be handed to this process. Called from
+// the process's own goroutine.
 func (p *Proc) block() {
 	select {
 	case <-p.resume:
@@ -113,23 +126,53 @@ func (p *Proc) block() {
 	}
 }
 
-// park hands control back to the engine and waits to be activated
-// again. Whoever wants to wake the process must have arranged an
-// activation (event or queue signal) before the park, or must do so
-// from engine context later.
+// park hands the baton onward and waits to be activated again. Whoever
+// wants to wake the process must have arranged an activation (event or
+// queue signal) before the park, or must do so from engine context
+// later.
+//
+// Fast path: when the next thing the engine would do is activate a
+// run-queue process at this same timestamp, the parking process hands
+// the baton straight to it (or simply keeps running, when that process
+// is itself), skipping the engine-goroutine round trip. The run queue
+// head is taken only when it precedes the heap top in (timestamp, seq)
+// order, so the execution order — and the Parks/Wakes telemetry — is
+// identical to the slow path's.
 func (p *Proc) park() {
+	e := p.eng
 	// Safe without a lock: the counter write happens strictly before
-	// the yield-send, which is the baton pass back to the engine.
-	p.eng.parks++
-	p.yield <- struct{}{}
+	// the baton pass onward.
+	e.parks++
+	for e.runqFirst() {
+		next := e.runq.pop()
+		if next.done {
+			continue // spurious wake after the process finished
+		}
+		e.wakes++
+		e.events++
+		if next == p {
+			// Self-wake at the current timestamp (Sleep(0), or a wake
+			// arranged before parking): control would bounce
+			// engine -> this process immediately, so just keep running.
+			return
+		}
+		next.resume <- struct{}{}
+		p.block()
+		return
+	}
+	e.yield <- struct{}{}
 	p.block()
 }
 
 // Sleep suspends the process for d of virtual time. Zero and negative
-// durations still yield to the engine, re-running the process after
-// all events at the current timestamp.
+// durations still yield to events queued ahead of the process at the
+// current timestamp, re-running it after them.
 func (p *Proc) Sleep(d Time) {
-	p.eng.Schedule(d, func() { p.activate() })
+	if d <= 0 {
+		p.eng.enqueueRun(p)
+	} else {
+		p.eng.ScheduleAt(p.eng.now+d, p.activateFn)
+	}
 	p.park()
 }
 
@@ -143,7 +186,11 @@ func (p *Proc) Suspend() {
 // Must be called from engine context and only for a process that is
 // currently suspended (or about to suspend at this timestamp); the
 // engine's run-to-completion semantics make the pairing safe as long
-// as the waker arranged the suspension.
+// as the waker arranged the suspension. Waking a process that already
+// finished is a no-op that enqueues nothing and counts no wake.
 func (p *Proc) Wake() {
-	p.eng.Schedule(0, func() { p.activate() })
+	if p.done {
+		return
+	}
+	p.eng.enqueueRun(p)
 }

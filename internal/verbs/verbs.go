@@ -154,6 +154,7 @@ type CQ struct {
 	eng     *sim.Engine
 	entries []CQE
 	waiters []cqWaiter
+	pool    [][]CQE // recycled Poll buffers (see Recycle)
 
 	Delivered uint64
 
@@ -213,6 +214,9 @@ func (q *CQ) kick() {
 }
 
 // Poll drains up to max entries without blocking. max <= 0 drains all.
+// The returned buffer is owned by the caller; handing it back with
+// Recycle once the entries are consumed makes steady-state polling
+// allocation-free.
 func (q *CQ) Poll(max int) []CQE {
 	n := len(q.entries)
 	if max > 0 && max < n {
@@ -221,10 +225,29 @@ func (q *CQ) Poll(max int) []CQE {
 	if n == 0 {
 		return nil
 	}
-	out := make([]CQE, n)
-	copy(out, q.entries[:n])
+	var out []CQE
+	if m := len(q.pool); m > 0 {
+		out = q.pool[m-1]
+		q.pool[m-1] = nil
+		q.pool = q.pool[:m-1]
+		out = append(out[:0], q.entries[:n]...)
+	} else {
+		out = make([]CQE, n)
+		copy(out, q.entries[:n])
+	}
 	q.entries = q.entries[:copy(q.entries, q.entries[n:])]
 	return out
+}
+
+// Recycle returns a buffer previously obtained from Poll, WaitN, or
+// WaitAny to the queue's buffer pool for reuse by a later drain. The
+// caller must not touch buf (or the CQEs in it) afterwards. Recycling
+// is optional — unreturned buffers are simply collected as garbage.
+func (q *CQ) Recycle(buf []CQE) {
+	if cap(buf) == 0 {
+		return
+	}
+	q.pool = append(q.pool, buf[:0])
 }
 
 // Len returns the number of undrained entries.
@@ -331,8 +354,55 @@ type QP struct {
 	db     *Doorbell
 	remote Target
 	lock   *sim.Mutex // userspace QP lock (mlx5 sq.lock)
+	free   []*launch  // recycled in-flight slots (see launch)
 
 	Posted uint64
+}
+
+// launch is one in-flight posting of a WR: the card-model Op plus the
+// state its callbacks need. Launches are pooled per QP — the steady
+// state of a SMART-style workload posts millions of WRs through a
+// handful of QPs, and before pooling every post allocated an Op and
+// two capturing closures. The exec and complete callbacks are bound to
+// the Op exactly once, when the launch is first created, so a recycled
+// launch re-enters the card with zero new allocations.
+type launch struct {
+	q       *QP
+	wr      *WR
+	attempt uint64
+	op      rnic.Op
+}
+
+// exec applies the WR's memory side effect at the responder, at the
+// virtual time the real card would apply it.
+func (l *launch) exec() {
+	wr, mem := l.wr, l.q.remote.Mem
+	switch wr.Kind {
+	case rnic.OpRead:
+		mem.ReadInto(wr.Remote.Offset, wr.Local)
+	case rnic.OpWrite:
+		mem.Write(wr.Remote.Offset, wr.Local)
+	case rnic.OpCAS:
+		wr.Result, _ = mem.CAS(wr.Remote.Offset, wr.Compare, wr.Swap)
+	case rnic.OpFAA:
+		wr.Result = mem.FAA(wr.Remote.Offset, wr.Add)
+	}
+}
+
+// complete recycles the launch and then delivers the completion. The
+// order matters: invoking Complete is the card model's very last touch
+// of the Op (rnic.RNIC.complete), and OnComplete handlers commonly
+// repost on the same QP, so returning the slot to the pool first lets
+// the repost reuse it immediately. Stale attempts — the watchdog
+// expired this launch and the WR was already reposted — recycle too:
+// the card is done with the Op either way, and the CQ's attempt guard
+// drops the late delivery. Blackholed launches never complete and are
+// simply left to the garbage collector.
+func (l *launch) complete() {
+	q, wr, attempt, st := l.q, l.wr, l.attempt, l.op.Status
+	l.wr = nil
+	q.free = append(q.free, l)
+	q.cq.complete(wr, attempt, st)
 }
 
 // CreateQP creates a queue pair on the context, connected to remote,
@@ -375,32 +445,29 @@ func (q *QP) PostSend(p *sim.Proc, wrs ...*WR) {
 	}
 }
 
-// launch hands the WR to the card model with memory-execution and
-// completion callbacks attached. Each launch opens a fresh attempt:
-// the WR's status resets to success and any completion still in flight
-// from a previous (expired) attempt becomes stale.
+// launch hands the WR to the card model on a pooled in-flight slot.
+// Each launch opens a fresh attempt: the WR's status resets to success
+// and any completion still in flight from a previous (expired) attempt
+// becomes stale. The slot's Op status must be reset too — a recycled
+// slot may have carried an error (rnic failAfter writes Op.Status).
 func (q *QP) launch(wr *WR) {
-	mem := q.remote.Mem
 	wr.attempt++
 	wr.completed = false
 	wr.Status = rnic.StatusSuccess
-	attempt := wr.attempt
-	op := &rnic.Op{
-		Kind:    wr.Kind,
-		Payload: wr.payload(),
-		Exec: func() {
-			switch wr.Kind {
-			case rnic.OpRead:
-				mem.ReadInto(wr.Remote.Offset, wr.Local)
-			case rnic.OpWrite:
-				mem.Write(wr.Remote.Offset, wr.Local)
-			case rnic.OpCAS:
-				wr.Result, _ = mem.CAS(wr.Remote.Offset, wr.Compare, wr.Swap)
-			case rnic.OpFAA:
-				wr.Result = mem.FAA(wr.Remote.Offset, wr.Add)
-			}
-		},
+	var l *launch
+	if n := len(q.free); n > 0 {
+		l = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+	} else {
+		l = &launch{q: q}
+		l.op.Exec = l.exec
+		l.op.Complete = l.complete
 	}
-	op.Complete = func() { q.cq.complete(wr, attempt, op.Status) }
-	q.ctx.nic.Submit(op, q.remote.NIC, mem.Kind)
+	l.wr = wr
+	l.attempt = wr.attempt
+	l.op.Kind = wr.Kind
+	l.op.Payload = wr.payload()
+	l.op.Status = rnic.StatusSuccess
+	q.ctx.nic.Submit(&l.op, q.remote.NIC, q.remote.Mem.Kind)
 }
