@@ -3,6 +3,7 @@ package main
 import (
 	"testing"
 
+	"repro/internal/arrival"
 	"repro/internal/fault"
 )
 
@@ -56,6 +57,67 @@ func FuzzFaultPlanParse(f *testing.F) {
 		start, end := p.Envelope()
 		if start < 0 || end <= start {
 			t.Fatalf("Parse(%q) produced an empty or negative envelope [%v, %v)", spec, start, end)
+		}
+	})
+}
+
+// FuzzArrivalSpecParse holds the -arrival parser to the same contract
+// as the -faults one: any input either yields a validated spec or a
+// descriptive error — never a panic, and never a spec that fails its
+// own re-validation. CI runs it with a short -fuzztime budget on every
+// push.
+func FuzzArrivalSpecParse(f *testing.F) {
+	for _, spec := range []string{
+		"poisson",
+		"poisson:rate=4",
+		"poisson:rate=0.25",
+		"mmpp",
+		"mmpp:high=8,low=1,on=200us,off=600us",
+		"mmpp:high=2,low=0,on=1ms,off=1ms",
+		"trace:gaps=1us+2us+500ns",
+		"trace:gaps=1us",
+		"",
+		":",
+		"poisson:",
+		"poisson:rate=",
+		"poisson:rate=NaN",
+		"poisson:rate=-1",
+		"poisson:rate=1e308",
+		"poisson:gaps=1us",
+		"mmpp:low=20",
+		"mmpp:on=0ns",
+		"mmpp:on=99999999s",
+		"trace",
+		"trace:gaps=",
+		"trace:gaps=1us+",
+		"trace:gaps=0ns",
+		"trace:gaps=-1us",
+		"weibull:rate=4",
+	} {
+		f.Add(spec)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := arrival.Parse(spec)
+		if err != nil {
+			if s != nil {
+				t.Fatalf("Parse(%q) returned both a spec and error %v", spec, err)
+			}
+			return
+		}
+		if s == nil {
+			t.Fatalf("Parse(%q) returned neither spec nor error", spec)
+		}
+		// Whatever Parse accepts must survive re-validation and report
+		// a usable mean rate — the sweep rescales by it.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Parse(%q) produced a spec Validate rejects: %v", spec, err)
+		}
+		if mr := s.MeanRate(); !(mr > 0) {
+			t.Fatalf("Parse(%q) produced mean rate %v", spec, mr)
+		}
+		// String() is the canonical form: it must reparse cleanly.
+		if _, err := arrival.Parse(s.String()); err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", s.String(), spec, err)
 		}
 	})
 }

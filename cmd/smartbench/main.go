@@ -48,12 +48,21 @@
 // default plan; custom plans run fine but may legitimately fail
 // -check.
 //
+// -arrival installs an arrival-process template on the serving
+// experiment: a spec like "poisson:rate=4", "mmpp:high=8,low=1,
+// on=200us,off=600us", or "trace:gaps=1us+2us+1us" (grammar in
+// internal/arrival). The sweep rescales the template's mean rate per
+// point, so only its shape matters. The serving shape checks are
+// calibrated against the Poisson default; burstier templates run fine
+// but may legitimately fail -check.
+//
 // Exit status: 0 on success, 1 when -check finds shape violations or
 // -perf-baseline finds a throughput regression, 2 on usage errors (no
 // -exp, unknown ID, bad flag values, negative -parallel, -telemetry
 // or -trace with no instrumented experiment selected, -faults with a
-// malformed spec or without the chaos experiment selected, an
-// unwritable -cpuprofile/-memprofile path, or an unreadable
+// malformed spec or without the chaos experiment selected, -arrival
+// with a malformed spec or without the serving experiment selected,
+// an unwritable -cpuprofile/-memprofile path, or an unreadable
 // -perf-baseline record).
 package main
 
@@ -67,6 +76,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/arrival"
 	"repro/internal/bench"
 	"repro/internal/fault"
 	"repro/internal/perf"
@@ -97,6 +107,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		telem    = fs.String("telemetry", "", "also run instrumented variants; write their counters as JSON to this file")
 		trace    = fs.Int("trace", 0, "keep the last N telemetry events of one instrumented run and dump them")
 		faults   = fs.String("faults", "", "fault plan for the chaos experiment: 'default' or a rule spec (see internal/fault)")
+		arrv     = fs.String("arrival", "", "arrival template for the serving experiment: e.g. 'poisson:rate=4' or 'mmpp' (see internal/arrival)")
 		parallel = fs.Int("parallel", 0, "sweep-point workers per experiment (0 = GOMAXPROCS, 1 = sequential)")
 		stats    = fs.String("stats", "", "write the perf record (sweep points/sec + kernel hot-path stats) as JSON to this file")
 		perfBase = fs.String("perf-baseline", "", "compare this run's perf record against the given baseline; exit 1 on regression")
@@ -190,6 +201,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		bench.SetChaosFaults(plan)
 		defer bench.SetChaosFaults(nil)
+	}
+	if *arrv != "" {
+		spec, err := arrival.Parse(*arrv)
+		if err != nil {
+			fmt.Fprintf(stderr, "smartbench: -arrival: %v\n", err)
+			return 2
+		}
+		servingSelected := false
+		for _, e := range selected {
+			if e.ID == "serving" {
+				servingSelected = true
+			}
+		}
+		if !servingSelected {
+			fmt.Fprintln(stderr, "smartbench: -arrival only applies to the serving experiment; add serving to -exp")
+			return 2
+		}
+		bench.SetServingArrival(spec)
+		defer bench.SetServingArrival(nil)
 	}
 	if *trace > 0 && instrumented != 1 {
 		fmt.Fprintf(stderr, "smartbench: -trace follows a single instrumented run; select exactly one of: %s\n",
@@ -387,18 +417,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 func printList(w io.Writer) {
 	fmt.Fprintln(w, "experiments:")
-	for _, e := range bench.All() {
-		mark := " "
-		if bench.HasTelemetry(e.ID) {
-			mark = "*"
+	for _, cat := range bench.Categories() {
+		first := true
+		for _, e := range bench.All() {
+			if e.Category != cat {
+				continue
+			}
+			if first {
+				fmt.Fprintf(w, "\n %s:\n", cat)
+				first = false
+			}
+			mark := " "
+			if bench.HasTelemetry(e.ID) {
+				mark = "*"
+			}
+			fmt.Fprintf(w, "  %-12s %s %s\n", e.ID, mark, e.Title)
 		}
-		fmt.Fprintf(w, "  %-12s %s %s\n", e.ID, mark, e.Title)
 	}
 	fmt.Fprintln(w, "\n'*' marks experiments with an instrumented (software Neo-Host)")
 	fmt.Fprintln(w, "variant: add -telemetry <file.json> to harvest its counters and")
 	fmt.Fprintln(w, "controller trajectories, and -trace <N> to dump its last N events.")
 	fmt.Fprintln(w, "The chaos experiment accepts -faults <spec> ('default' or a rule")
-	fmt.Fprintln(w, "spec; see internal/fault) to choose the injected fault plan.")
+	fmt.Fprintln(w, "spec; see internal/fault) to choose the injected fault plan; the")
+	fmt.Fprintln(w, "serving experiment accepts -arrival <spec> (see internal/arrival)")
+	fmt.Fprintln(w, "to choose the swept arrival-process template.")
 }
 
 // nearestID returns the registered experiment ID with the smallest

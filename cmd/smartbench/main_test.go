@@ -35,6 +35,9 @@ func TestUsageErrorsExit2(t *testing.T) {
 		{"malformed faults spec", []string{"-exp", "chaos", "-faults", "explode@1ms-2ms"}, "unknown action"},
 		{"faults spec without window", []string{"-exp", "chaos", "-faults", "delay"}, "missing '@window'"},
 		{"faults without chaos selected", []string{"-exp", "fig4", "-faults", "default"}, "only applies to the chaos experiment"},
+		{"malformed arrival spec", []string{"-exp", "serving", "-arrival", "weibull:rate=4"}, "unknown kind"},
+		{"arrival spec with bad rate", []string{"-exp", "serving", "-arrival", "poisson:rate=-1"}, "arrival:"},
+		{"arrival without serving selected", []string{"-exp", "fig4", "-arrival", "poisson:rate=4"}, "only applies to the serving experiment"},
 		{"perf tolerance too high", []string{"-exp", "fig4", "-perf-tolerance", "1.5"}, "out of range"},
 		{"perf tolerance negative", []string{"-exp", "fig4", "-perf-tolerance", "-0.1"}, "out of range"},
 		{"unwritable cpuprofile", []string{"-exp", "fig4", "-cpuprofile", "no/such/dir/cpu.prof"}, "-cpuprofile"},
@@ -73,9 +76,50 @@ func TestListMarksInstrumentedExperiments(t *testing.T) {
 	if strings.Contains(stdout, "fig4  *") {
 		t.Error("fig4 wrongly marked as instrumented")
 	}
-	for _, flag := range []string{"-telemetry", "-trace"} {
+	for _, flag := range []string{"-telemetry", "-trace", "-arrival"} {
 		if !strings.Contains(stdout, flag) {
 			t.Errorf("list footer does not mention %s:\n%s", flag, stdout)
+		}
+	}
+}
+
+func TestListGroupsByCategory(t *testing.T) {
+	code, stdout, _ := runCLI("-list")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	// Category headers appear in registry order, and each experiment
+	// lands under its own header.
+	order := []string{"figures:", "ablations:", "chaos:", "serving:"}
+	last := -1
+	for _, h := range order {
+		i := strings.Index(stdout, h)
+		if i < 0 {
+			t.Fatalf("list missing category header %q:\n%s", h, stdout)
+		}
+		if i < last {
+			t.Errorf("category %q out of order", h)
+		}
+		last = i
+	}
+	section := func(id string) int {
+		i := strings.Index(stdout, "\n  "+id)
+		if i < 0 {
+			t.Fatalf("experiment %s not listed:\n%s", id, stdout)
+		}
+		n := 0
+		for j, h := range order {
+			if k := strings.Index(stdout, h); k >= 0 && k < i {
+				n = j
+			}
+		}
+		return n
+	}
+	for id, want := range map[string]int{
+		"fig3": 0, "tab1": 0, "abl-db": 1, "chaos": 2, "serving": 3,
+	} {
+		if got := section(id); got != want {
+			t.Errorf("%s listed under %q, want %q", id, order[got], order[want])
 		}
 	}
 }

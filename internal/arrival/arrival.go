@@ -1,0 +1,160 @@
+// Package arrival models open-loop request arrival: processes that
+// emit inter-arrival gaps at a configured rate regardless of whether
+// the serving system keeps up. Three process families cover the
+// regimes the serving experiments need — Poisson (memoryless steady
+// load), MMPP on-off (bursty, Markov-modulated), and trace-driven
+// (deterministic replay) — all seeded from the caller's rand stream,
+// so same-seed runs draw byte-identical arrival sequences.
+//
+// Rates are expressed in operations per microsecond (numerically
+// equal to Mop/s), matching the throughput unit of every result
+// table. A Spec is the declarative form (parsed from the smartbench
+// -arrival flag by Parse); Spec.New instantiates the process, and
+// WithMeanRate rescales a spec's aggregate rate so one spec shape can
+// be swept across offered loads.
+package arrival
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Process emits the gap to the next arrival. Implementations are
+// stateful and single-client: one Process per generator, never shared.
+type Process interface {
+	// Next returns the inter-arrival gap before the next request.
+	// Gaps are always >= 1 ns so a generator can never live-lock the
+	// event loop at one instant.
+	Next() sim.Time
+}
+
+// gapFor converts a rate in ops/us into a mean gap in nanoseconds.
+func gapFor(rate float64) float64 { return 1e3 / rate }
+
+// clampGap floors a drawn gap at 1 ns.
+func clampGap(g float64) sim.Time {
+	if g < 1 {
+		return 1
+	}
+	return sim.Time(g)
+}
+
+// poisson draws exponential gaps: a memoryless stream at a fixed rate.
+type poisson struct {
+	rng  *rand.Rand
+	mean float64 // ns
+}
+
+func (p *poisson) Next() sim.Time {
+	return clampGap(p.rng.ExpFloat64() * p.mean)
+}
+
+// NewPoisson returns a Poisson process at rate ops/us, drawing from
+// rng. rate must be positive.
+func NewPoisson(rng *rand.Rand, rate float64) Process {
+	if !(rate > 0) {
+		panic("arrival: poisson rate must be positive")
+	}
+	return &poisson{rng: rng, mean: gapFor(rate)}
+}
+
+// mmpp is a two-state Markov-modulated Poisson process: an "on" phase
+// emitting at High and an "off" phase at Low, with exponentially
+// distributed phase durations. Arrivals inside a phase are Poisson, so
+// crossing a phase boundary discards the in-flight draw and redraws at
+// the new rate — valid because the exponential is memoryless.
+type mmpp struct {
+	rng        *rand.Rand
+	high, low  float64 // ns mean gaps; low may be +Inf (rate 0)
+	onMean     float64 // ns
+	offMean    float64 // ns
+	on         bool
+	left       sim.Time // time remaining in the current phase
+	hasLowRate bool
+}
+
+func (m *mmpp) Next() sim.Time {
+	var gap sim.Time
+	for {
+		if m.left <= 0 {
+			m.on = !m.on
+			mean := m.offMean
+			if m.on {
+				mean = m.onMean
+			}
+			m.left = clampGap(m.rng.ExpFloat64() * mean)
+		}
+		if !m.on && !m.hasLowRate {
+			// Silent phase: skip it entirely.
+			gap += m.left
+			m.left = 0
+			continue
+		}
+		mean := m.high
+		if !m.on {
+			mean = m.low
+		}
+		d := clampGap(m.rng.ExpFloat64() * mean)
+		if d < m.left {
+			m.left -= d
+			return gap + d
+		}
+		gap += m.left
+		m.left = 0
+	}
+}
+
+// NewMMPP returns an on-off MMPP: rate high ops/us for exponentially
+// distributed on-phases of mean on, rate low ops/us (low >= 0; zero
+// silences the off phase) for off-phases of mean off. The first phase
+// is an on-phase.
+func NewMMPP(rng *rand.Rand, high, low float64, on, off sim.Time) Process {
+	if !(high > 0) || !(low >= 0) || on <= 0 || off <= 0 {
+		panic("arrival: mmpp needs high > 0, low >= 0, and positive phase means")
+	}
+	m := &mmpp{
+		rng: rng, high: gapFor(high),
+		onMean: float64(on), offMean: float64(off),
+		hasLowRate: low > 0,
+	}
+	if m.hasLowRate {
+		m.low = gapFor(low)
+	}
+	// Start inside a fresh on-phase: Next flips the phase before
+	// drawing when left == 0, so seed the state as "off, expired".
+	m.on = false
+	return m
+}
+
+// trace replays a fixed gap sequence cyclically — the deterministic
+// arrival process (no rng draws at all).
+type trace struct {
+	gaps []sim.Time
+	i    int
+}
+
+func (t *trace) Next() sim.Time {
+	g := t.gaps[t.i]
+	t.i++
+	if t.i == len(t.gaps) {
+		t.i = 0
+	}
+	return g
+}
+
+// NewTrace returns a process replaying gaps cyclically. The slice is
+// copied; every gap must be positive.
+func NewTrace(gaps []sim.Time) Process {
+	if len(gaps) == 0 {
+		panic("arrival: trace needs at least one gap")
+	}
+	c := make([]sim.Time, len(gaps))
+	for i, g := range gaps {
+		if g <= 0 {
+			panic("arrival: trace gaps must be positive")
+		}
+		c[i] = g
+	}
+	return &trace{gaps: c}
+}

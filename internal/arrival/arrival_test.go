@@ -1,0 +1,176 @@
+package arrival
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func drawMeanRate(t *testing.T, p Process, n int) float64 {
+	t.Helper()
+	var sum sim.Time
+	for i := 0; i < n; i++ {
+		g := p.Next()
+		if g < 1 {
+			t.Fatalf("draw %d: gap %v < 1ns", i, g)
+		}
+		sum += g
+	}
+	return float64(n) * 1e3 / float64(sum)
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	p := NewPoisson(rand.New(rand.NewSource(1)), 4)
+	got := drawMeanRate(t, p, 200000)
+	if math.Abs(got-4)/4 > 0.05 {
+		t.Fatalf("poisson empirical rate %.3f, want ~4 ops/us", got)
+	}
+}
+
+func TestPoissonDeterminism(t *testing.T) {
+	a := NewPoisson(rand.New(rand.NewSource(7)), 2)
+	b := NewPoisson(rand.New(rand.NewSource(7)), 2)
+	for i := 0; i < 1000; i++ {
+		if ga, gb := a.Next(), b.Next(); ga != gb {
+			t.Fatalf("draw %d: same seed diverged (%v vs %v)", i, ga, gb)
+		}
+	}
+}
+
+func TestMMPPMeanRateMatchesSpec(t *testing.T) {
+	s := &Spec{Kind: KindMMPP, High: 8, Low: 1, On: 200 * sim.Microsecond, Off: 600 * sim.Microsecond}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := s.MeanRate() // (8*200 + 1*600) / 800 = 2.75
+	if math.Abs(want-2.75) > 1e-9 {
+		t.Fatalf("MeanRate() = %v, want 2.75", want)
+	}
+	p := s.New(rand.New(rand.NewSource(3)), 1)
+	got := drawMeanRate(t, p, 400000)
+	if math.Abs(got-want)/want > 0.08 {
+		t.Fatalf("mmpp empirical rate %.3f, want ~%.3f ops/us", got, want)
+	}
+}
+
+func TestMMPPSilentOffPhase(t *testing.T) {
+	// low=0 must not hang: silent phases are skipped, and the
+	// long-run rate is High weighted by the on fraction.
+	s := &Spec{Kind: KindMMPP, High: 8, Low: 0, On: 100 * sim.Microsecond, Off: 300 * sim.Microsecond}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := s.New(rand.New(rand.NewSource(11)), 1)
+	got := drawMeanRate(t, p, 200000)
+	want := s.MeanRate() // 8 * 100/400 = 2
+	if math.Abs(got-want)/want > 0.08 {
+		t.Fatalf("silent mmpp empirical rate %.3f, want ~%.3f ops/us", got, want)
+	}
+}
+
+func TestMMPPBurstier(t *testing.T) {
+	// At matched mean rates the MMPP gap distribution must have a
+	// heavier tail than Poisson: that is the whole point of the
+	// bursty arrival family.
+	mean := 2.0
+	mm := (&Spec{Kind: KindMMPP, High: 8, Low: 0.5, On: 200 * sim.Microsecond, Off: 600 * sim.Microsecond}).
+		WithMeanRate(mean)
+	pp := &Spec{Kind: KindPoisson, Rate: mean}
+	tail := func(s *Spec, seed int64) float64 {
+		p := s.New(rand.New(rand.NewSource(seed)), 1)
+		gaps := make([]float64, 100000)
+		for i := range gaps {
+			gaps[i] = float64(p.Next())
+		}
+		var m, sq float64
+		for _, g := range gaps {
+			m += g
+		}
+		m /= float64(len(gaps))
+		for _, g := range gaps {
+			sq += (g - m) * (g - m)
+		}
+		// Squared coefficient of variation: 1 for exponential,
+		// > 1 for anything burstier.
+		return sq / float64(len(gaps)) / (m * m)
+	}
+	cvM, cvP := tail(mm, 5), tail(pp, 5)
+	if cvM <= cvP*1.2 {
+		t.Fatalf("mmpp CV^2 %.3f not clearly burstier than poisson CV^2 %.3f", cvM, cvP)
+	}
+}
+
+func TestTraceReplay(t *testing.T) {
+	gaps := []sim.Time{100, 2000, 500}
+	p := NewTrace(gaps)
+	for cycle := 0; cycle < 3; cycle++ {
+		for i, want := range gaps {
+			if got := p.Next(); got != want {
+				t.Fatalf("cycle %d draw %d: got %v, want %v", cycle, i, got, want)
+			}
+		}
+	}
+}
+
+func TestSpecShareSplitsLoad(t *testing.T) {
+	s := &Spec{Kind: KindPoisson, Rate: 8}
+	p := s.New(rand.New(rand.NewSource(9)), 4)
+	got := drawMeanRate(t, p, 200000)
+	if math.Abs(got-2)/2 > 0.05 {
+		t.Fatalf("per-client rate %.3f with share=4, want ~2 ops/us", got)
+	}
+
+	tr := &Spec{Kind: KindTrace, Gaps: []sim.Time{500, 1500}}
+	tp := tr.New(nil, 2)
+	if g := tp.Next(); g != 1000 {
+		t.Fatalf("trace share=2 first gap %v, want 1000ns", g)
+	}
+}
+
+func TestWithMeanRate(t *testing.T) {
+	specs := []*Spec{
+		{Kind: KindPoisson, Rate: 4},
+		{Kind: KindMMPP, High: 8, Low: 1, On: 200 * sim.Microsecond, Off: 600 * sim.Microsecond},
+		{Kind: KindTrace, Gaps: []sim.Time{100, 2000, 500}},
+	}
+	for _, s := range specs {
+		for _, rate := range []float64{0.5, 3, 12} {
+			c := s.WithMeanRate(rate)
+			if err := c.Validate(); err != nil {
+				t.Fatalf("%s rescaled to %g: %v", s, rate, err)
+			}
+			got := c.MeanRate()
+			if math.Abs(got-rate)/rate > 0.01 {
+				t.Fatalf("%s rescaled to %g: MeanRate() = %.4f", s, rate, got)
+			}
+		}
+		// The original must be untouched.
+		if s.Kind == KindTrace && s.Gaps[0] != 100 {
+			t.Fatalf("WithMeanRate mutated the receiver: %v", s.Gaps)
+		}
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []*Spec{
+		{Kind: KindPoisson, Rate: 0},
+		{Kind: KindPoisson, Rate: -1},
+		{Kind: KindPoisson, Rate: math.NaN()},
+		{Kind: KindPoisson, Rate: maxRate * 2},
+		{Kind: KindMMPP, High: 0, Low: 0, On: 1, Off: 1},
+		{Kind: KindMMPP, High: 4, Low: 8, On: 1, Off: 1}, // low > high
+		{Kind: KindMMPP, High: math.NaN(), Low: 0, On: 1, Off: 1},
+		{Kind: KindMMPP, High: 4, Low: math.NaN(), On: 1, Off: 1},
+		{Kind: KindMMPP, High: 4, Low: 1, On: 0, Off: 1},
+		{Kind: KindTrace},
+		{Kind: KindTrace, Gaps: []sim.Time{100, 0}},
+		{Kind: Kind(99)},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", s)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package arrival
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestParseValid(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"poisson", Spec{Kind: KindPoisson, Rate: 4}},
+		{"poisson:rate=2.5", Spec{Kind: KindPoisson, Rate: 2.5}},
+		{"mmpp", Spec{Kind: KindMMPP, High: 8, Low: 1, On: 200 * sim.Microsecond, Off: 600 * sim.Microsecond}},
+		{"mmpp:high=16,low=0,on=1ms,off=3ms", Spec{Kind: KindMMPP, High: 16, Low: 0, On: sim.Millisecond, Off: 3 * sim.Millisecond}},
+		{"trace:gaps=100ns+2us+500ns", Spec{Kind: KindTrace, Gaps: []sim.Time{100, 2000, 500}}},
+		{"  poisson:rate=1 ", Spec{Kind: KindPoisson, Rate: 1}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got.Kind != c.want.Kind || got.Rate != c.want.Rate ||
+			got.High != c.want.High || got.Low != c.want.Low ||
+			got.On != c.want.On || got.Off != c.want.Off ||
+			len(got.Gaps) != len(c.want.Gaps) {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.in, got, c.want)
+			continue
+		}
+		for i := range got.Gaps {
+			if got.Gaps[i] != c.want.Gaps[i] {
+				t.Errorf("Parse(%q) gap %d = %v, want %v", c.in, i, got.Gaps[i], c.want.Gaps[i])
+			}
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"   ",
+		"gamma",
+		"poisson:rate=0",
+		"poisson:rate=-2",
+		"poisson:rate=nan",
+		"poisson:rate=1e99",
+		"poisson:high=4", // mmpp option on poisson
+		"poisson:rate",   // no '='
+		"mmpp:high=0",
+		"mmpp:low=20", // low > high
+		"mmpp:on=0us",
+		"mmpp:on=5", // missing unit
+		"mmpp:off=-1us",
+		"trace", // no gaps
+		"trace:gaps=",
+		"trace:gaps=100ns+0ns",
+		"trace:gaps=100ns+oops",
+		"trace:rate=4",
+		"poisson:rate=4,rate=", // second option malformed
+	}
+	for _, in := range cases {
+		got, err := Parse(in)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted: %+v", in, got)
+		}
+	}
+}
+
+func TestParseRoundTripsThroughString(t *testing.T) {
+	for _, in := range []string{
+		"poisson:rate=4",
+		"mmpp:high=8,low=1,on=200us,off=600us",
+		"trace:gaps=100ns+2us+500ns",
+	} {
+		s, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		again, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = Parse(%q): %v", in, s.String(), err)
+		}
+		if again.String() != s.String() {
+			t.Fatalf("round trip drifted: %q -> %q", s.String(), again.String())
+		}
+	}
+}
+
+func TestParseErrorsMentionArrival(t *testing.T) {
+	_, err := Parse("bogus")
+	if err == nil || !strings.Contains(err.Error(), "arrival") {
+		t.Fatalf("error %v does not identify the arrival parser", err)
+	}
+}

@@ -19,8 +19,9 @@ import (
 
 func init() {
 	register(&Experiment{
-		ID:    "abl-db",
-		Title: "Ablation: medium-latency doorbell count vs 96-thread READ throughput",
+		ID:       "abl-db",
+		Category: "ablations",
+		Title:    "Ablation: medium-latency doorbell count vs 96-thread READ throughput",
 		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
 			counts := []int{1, 2, 4, 8, 12, 24, 48, 96, 192, 512}
 			if quick {
@@ -50,8 +51,9 @@ func init() {
 	})
 
 	register(&Experiment{
-		ID:    "abl-wqe",
-		Title: "Ablation: WQE cache size vs throughput at 96 threads x 32 OWRs",
+		ID:       "abl-wqe",
+		Category: "ablations",
+		Title:    "Ablation: WQE cache size vs throughput at 96 threads x 32 OWRs",
 		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
 			sizes := []int{256, 512, 1024, 2048, 4096, 8192}
 			if quick {
@@ -82,8 +84,9 @@ func init() {
 	})
 
 	register(&Experiment{
-		ID:    "abl-gamma",
-		Title: "Ablation: conflict-avoidance watermarks under 100% skewed updates (96 threads)",
+		ID:       "abl-gamma",
+		Category: "ablations",
+		Title:    "Ablation: conflict-avoidance watermarks under 100% skewed updates (96 threads)",
 		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
 			marks := []struct{ hi, lo float64 }{
 				{0.25, 0.05}, {0.5, 0.1}, {0.75, 0.25}, {0.9, 0.5},
@@ -118,8 +121,9 @@ func init() {
 	})
 
 	register(&Experiment{
-		ID:    "abl-t0",
-		Title: "Ablation: backoff unit t0 under 100% skewed updates (96 threads)",
+		ID:       "abl-t0",
+		Category: "ablations",
+		Title:    "Ablation: backoff unit t0 under 100% skewed updates (96 threads)",
 		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
 			units := []sim.Time{800, 1600, 3300, 6600, 13200}
 			if quick {
@@ -154,8 +158,9 @@ func init() {
 	})
 
 	register(&Experiment{
-		ID:    "abl-spec",
-		Title: "Ablation: speculative-lookup cache size (SMART-BT, read-only, 48 threads)",
+		ID:       "abl-spec",
+		Category: "ablations",
+		Title:    "Ablation: speculative-lookup cache size (SMART-BT, read-only, 48 threads)",
 		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
 			sizes := []int{256, 1024, 4096, 16384, 65536}
 			if quick {
@@ -188,8 +193,9 @@ func init() {
 
 func init() {
 	register(&Experiment{
-		ID:    "abl-payload",
-		Title: "Ablation: payload size — the IOPS-bound to bandwidth-bound transition (§3.1)",
+		ID:       "abl-payload",
+		Category: "ablations",
+		Title:    "Ablation: payload size — the IOPS-bound to bandwidth-bound transition (§3.1)",
 		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
 			sizes := []int{8, 16, 32, 64, 128, 256, 512, 1024}
 			if quick {

@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 	paper := []string{"fig3", "fig4", "fig5", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "tab1"}
 	ablations := []string{"abl-db", "abl-wqe", "abl-gamma", "abl-t0", "abl-spec", "abl-payload"}
-	extras := []string{"chaos"}
+	extras := []string{"chaos", "serving"}
 	all := append(append(append([]string{}, paper...), ablations...), extras...)
 	for _, id := range all {
 		if ByID(id) == nil {

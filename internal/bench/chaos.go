@@ -253,8 +253,9 @@ func runStorm(quick bool, seed int64, reg *telemetry.Registry, plan *fault.Plan,
 
 func init() {
 	register(&Experiment{
-		ID:    "chaos",
-		Title: "Recovery under injected RNIC faults (fault window + CAS storm)",
+		ID:       "chaos",
+		Category: "chaos",
+		Title:    "Recovery under injected RNIC faults (fault window + CAS storm)",
 		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
 			return runChaos(sw, quick, seed, telemetry.New())
 		},

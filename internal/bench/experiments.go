@@ -13,6 +13,10 @@ import (
 type Experiment struct {
 	ID    string
 	Title string
+	// Category groups the experiment in `smartbench -list`: "figures"
+	// (the default — the paper's tables and figures), "ablations",
+	// "chaos", or "serving".
+	Category string
 	// Run executes the experiment and returns its typed tables (one
 	// per panel). The body enumerates the sweep's points into a
 	// sweep.Set and executes them through sw — points run on sw's
@@ -39,7 +43,16 @@ func (e *Experiment) RunSeq(quick bool, seed int64) []result.Table {
 //smartlint:ignore sharedstate — written only during init, read-only while sweeps run
 var registry = map[string]*Experiment{}
 
-func register(e *Experiment) { registry[e.ID] = e }
+func register(e *Experiment) {
+	if e.Category == "" {
+		e.Category = "figures"
+	}
+	registry[e.ID] = e
+}
+
+// Categories returns the -list grouping order. Only categories with
+// registered experiments render.
+func Categories() []string { return []string{"figures", "ablations", "chaos", "serving"} }
 
 // ByID returns the experiment with the given ID, or nil.
 func ByID(id string) *Experiment { return registry[id] }

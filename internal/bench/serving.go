@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/arrival"
+	"repro/internal/core"
+	"repro/internal/result"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/telemetry"
+)
+
+// The serving experiment is the open-loop capacity-planning study
+// over internal/serve: sweep the offered arrival rate × the
+// blade/thread topology and report SLO percentiles (p50/p99/p999 op
+// and txn latency split into queue wait and service time), goodput,
+// and shed fraction. Load is expressed as a fraction of each
+// topology's nominal capacity so one x-axis compares every
+// configuration, and the shape checks pin the saturation knee: p99
+// flat below it, superlinear across it, goodput plateauing (and load
+// shedding) past it.
+
+// servingPerThreadCapacity is the calibrated steady-state capacity of
+// one serving thread (4 worker coroutines over the ~3.8 µs sync READ
+// service path), in ops/us. Measured on the PerThreadDoorbell policy:
+// 1 runtime × 8 threads saturates at ≈ 9.17 ops/us, 2×16 at ≈ 36.7 —
+// both ≈ 1.15 per thread. Load fraction 1.0 sits right at the knee.
+const servingPerThreadCapacity = 1.15
+
+// servingTxnFrac is the transaction mix of the serving workload: one
+// in five requests is a READ+FAA transaction.
+const servingTxnFrac = 0.2
+
+// servingArrival is the arrival-process template the serving sweep
+// rescales per point (WithMeanRate); the CLI overrides it via
+// SetServingArrival (-arrival). Specs are immutable after parse and
+// New draws from each point's own rand stream, so concurrent points
+// may share one safely. The burst-comparison table always runs its
+// own poisson and mmpp specs regardless of the template.
+//
+//smartlint:ignore sharedstate — written only by CLI setup before any sweep runs
+var servingArrival = &arrival.Spec{Kind: arrival.KindPoisson, Rate: 4}
+
+// SetServingArrival installs the arrival template the serving
+// experiment sweeps; nil restores the Poisson default.
+func SetServingArrival(s *arrival.Spec) {
+	if s == nil {
+		s = &arrival.Spec{Kind: arrival.KindPoisson, Rate: 4}
+	}
+	servingArrival = s
+}
+
+// servingTopo is one blade/thread configuration of the capacity grid.
+type servingTopo struct {
+	runtimes int // compute blades = memory blades
+	threads  int // per runtime
+}
+
+func (t servingTopo) label() string { return fmt.Sprintf("%dx%d", t.runtimes, t.threads) }
+
+// nominal returns the topology's calibrated capacity in ops/us.
+func (t servingTopo) nominal() float64 {
+	return servingPerThreadCapacity * float64(t.runtimes*t.threads)
+}
+
+// servingGrid returns the topology × load-fraction grid. The quick
+// grid keeps the exact fractions and the two smaller topologies the
+// shape checks reference, so -quick -check exercises every predicate.
+func servingGrid(quick bool) (topos []servingTopo, fracs []float64) {
+	topos = []servingTopo{{1, 8}, {2, 16}}
+	fracs = []float64{0.25, 0.5, 1.5, 2.5}
+	if !quick {
+		topos = append(topos, servingTopo{4, 32})
+		fracs = []float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5}
+	}
+	return topos, fracs
+}
+
+// servingConfig builds one point's serve configuration: topology topo
+// offered spec's aggregate rate.
+func servingConfig(topo servingTopo, spec *arrival.Spec, quick bool, seed int64) serve.Config {
+	warmup, measure := 400*sim.Microsecond, 2*sim.Millisecond
+	if quick {
+		warmup, measure = 200*sim.Microsecond, sim.Millisecond
+	}
+	return serve.Config{
+		Runtimes:          topo.runtimes,
+		ThreadsPerRuntime: topo.threads,
+		MemoryBlades:      topo.runtimes,
+		Arrival:           spec,
+		TxnFrac:           servingTxnFrac,
+		Warmup:            warmup,
+		Measure:           measure,
+		Seed:              15 + seed,
+		Opts:              core.Baseline(core.PerThreadDoorbell),
+	}
+}
+
+func init() {
+	register(&Experiment{
+		ID:       "serving",
+		Title:    "Open-loop serving capacity: SLO percentiles and goodput vs offered load x topology",
+		Category: "serving",
+		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
+			return runServing(sw, quick, seed, nil)
+		},
+	})
+	registerTelemetry("serving", func(sw *sweep.Sweeper, quick bool, seed int64, trace int) (*telemetry.Registry, []result.Table) {
+		reg := newTelemetryRegistry(trace)
+		return reg, runServingTelemetry(sw, quick, seed, reg)
+	})
+}
+
+func runServing(sw *sweep.Sweeper, quick bool, seed int64, reg *telemetry.Registry) []result.Table {
+	template := servingArrival
+	topos, fracs := servingGrid(quick)
+
+	p99 := result.NewTable("serving-p99",
+		"Serving — op p99 latency vs offered load (fraction of nominal capacity)", "load")
+	p99.XUnit, p99.YUnit, p99.Prec = "x capacity", "us", 2
+	good := result.NewTable("serving-goodput",
+		"Serving — goodput (and offered load) vs load fraction", "load")
+	good.XUnit, good.YUnit, good.Prec = "x capacity", "ops/us", 2
+	shed := result.NewTable("serving-shed",
+		"Serving — shed fraction vs load fraction", "load")
+	shed.XUnit, shed.YUnit, shed.Prec = "x capacity", "frac", 4
+	lat := result.NewTable("serving-latency",
+		"Serving — latency breakdown on the 2x16 topology", "load")
+	lat.XUnit, lat.YUnit, lat.Prec = "x capacity", "us", 2
+
+	set := &sweep.Set{}
+	for _, topo := range topos {
+		topo := topo
+		cfgLabel := topo.label()
+		for _, frac := range fracs {
+			frac := frac
+			spec := template.WithMeanRate(frac * topo.nominal())
+			sweep.Add(set, fmt.Sprintf("serving/%s/load=%.2f", cfgLabel, frac), 15+seed,
+				servingConfig(topo, spec, quick, seed),
+				serve.Run,
+				func(r serve.Result) {
+					p99.Add(cfgLabel, frac, us(r.Op.P99))
+					good.Add(cfgLabel, frac, r.Goodput)
+					good.Add(cfgLabel+"-offered", frac, r.OfferedRate)
+					shed.Add(cfgLabel, frac, r.ShedFrac)
+					if cfgLabel == "2x16" {
+						lat.Add("op-p50", frac, us(r.Op.P50))
+						lat.Add("op-p99", frac, us(r.Op.P99))
+						lat.Add("op-p999", frac, us(r.Op.P999))
+						lat.Add("txn-p99", frac, us(r.Txn.P99))
+						lat.Add("wait-p99", frac, us(r.Wait.P99))
+						lat.Add("service-p99", frac, us(r.Service.P99))
+					}
+				})
+		}
+	}
+
+	// Burstiness panel: poisson vs mmpp at the same sub-knee mean rate
+	// on the smallest topology. The mmpp on-phases transiently exceed
+	// capacity, so the tail must suffer even though the mean load is
+	// comfortably below the knee.
+	burst := result.NewTable("serving-burst",
+		"Serving — arrival burstiness vs op p99 at matched mean rate (1x8)", "load")
+	burst.XUnit, burst.YUnit, burst.Prec = "x capacity", "us", 2
+	burstTopo := servingTopo{1, 8}
+	burstFracs := []float64{0.5}
+	if !quick {
+		burstFracs = []float64{0.33, 0.5, 0.66}
+	}
+	burstSpecs := []struct {
+		name string
+		spec *arrival.Spec
+	}{
+		{"poisson", &arrival.Spec{Kind: arrival.KindPoisson, Rate: 4}},
+		{"mmpp", &arrival.Spec{Kind: arrival.KindMMPP, High: 8, Low: 1,
+			On: 200 * sim.Microsecond, Off: 600 * sim.Microsecond}},
+	}
+	for _, bs := range burstSpecs {
+		bs := bs
+		for _, frac := range burstFracs {
+			frac := frac
+			spec := bs.spec.WithMeanRate(frac * burstTopo.nominal())
+			cfg := servingConfig(burstTopo, spec, quick, seed)
+			// One client machine, so the mmpp on-phases arrive fully
+			// correlated — independent per-client phases would smooth
+			// the aggregate back toward Poisson.
+			cfg.Clients = 1
+			sweep.Add(set, fmt.Sprintf("serving/burst/%s/load=%.2f", bs.name, frac), 15+seed,
+				cfg, serve.Run,
+				func(r serve.Result) { burst.Add(bs.name, frac, us(r.Op.P99)) })
+		}
+	}
+
+	// Instrumented variant: one overloaded 1x8 point carries the
+	// registry (admission counters, qdepth trajectory, runtime
+	// harvests). Enumerated last so the plain grid above is untouched;
+	// the point owns reg exclusively.
+	if reg != nil {
+		spec := template.WithMeanRate(2.5 * burstTopo.nominal())
+		cfg := servingConfig(burstTopo, spec, quick, seed)
+		cfg.Telemetry = reg
+		sweep.Add(set, "serving/telemetry/1x8/load=2.50", 15+seed,
+			cfg, serve.Run, func(serve.Result) {})
+	}
+
+	sw.Run(set)
+	tables := collect([]*result.Table{p99, good, shed, lat, burst})
+	if reg != nil {
+		tables = append(tables, reg.Tables("")...)
+	}
+	return tables
+}
+
+// runServingTelemetry is the instrumented serving variant: the full
+// sweep plus a telemetry-carrying overload point whose registry
+// export rides along after the result tables.
+func runServingTelemetry(sw *sweep.Sweeper, quick bool, seed int64, reg *telemetry.Registry) []result.Table {
+	return runServing(sw, quick, seed, reg)
+}

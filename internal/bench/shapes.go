@@ -381,6 +381,96 @@ var shapeChecks = []shapeCheck{
 		return fmt.Sprintf("storm injected %.0f, abandoned %.0f (need both > 0)", inj, ab),
 			inj > 0 && ab > 0
 	}},
+
+	// Serving — open-loop capacity planning (saturation knee). The
+	// quick and full grids share load fractions 0.25/0.5/1.5/2.5 and
+	// the 1x8/2x16 topologies, so every predicate runs in both modes.
+	// Calibrated: sub-knee p99 ≈ 7.4 µs (service-bound), post-knee
+	// ≈ 74 µs (bounded-queue wait), saturated goodput ≈ 7.3 (1x8) and
+	// ≈ 29 (2x16) ops/us.
+	{"serving", "serving/p99-flat-below-knee", func(v *tv) (string, bool) {
+		// Below the knee, doubling load must leave the tail untouched:
+		// latency is service time, not queueing.
+		for _, cfg := range []string{"1x8", "2x16"} {
+			lo, hi := v.at("serving-p99", cfg, 0.25), v.at("serving-p99", cfg, 0.5)
+			if hi > 1.5*lo {
+				return fmt.Sprintf("%s: p99 %.2fus at 0.25x vs %.2fus at 0.5x (need <= 1.5x)", cfg, lo, hi), false
+			}
+		}
+		return "p99 flat from 0.25x to 0.5x load on both topologies", true
+	}},
+	{"serving", "serving/p99-superlinear-past-knee", func(v *tv) (string, bool) {
+		// Crossing the knee (0.5x -> 1.5x, a 3x load step) must blow
+		// the tail up superlinearly — the bounded queue pins it at the
+		// full-queue wait, >= 5x the service-bound sub-knee p99.
+		for _, cfg := range []string{"1x8", "2x16"} {
+			sub, over := v.at("serving-p99", cfg, 0.5), v.at("serving-p99", cfg, 1.5)
+			if over < 5*sub {
+				return fmt.Sprintf("%s: p99 %.2fus at 0.5x vs %.2fus at 1.5x (need >= 5x)", cfg, sub, over), false
+			}
+		}
+		return "p99 grows >= 5x across the knee on both topologies", true
+	}},
+	{"serving", "serving/goodput-tracks-offered-below-knee", func(v *tv) (string, bool) {
+		// Below the knee nothing is shed and completions keep pace
+		// with arrivals.
+		for _, cfg := range []string{"1x8", "2x16"} {
+			for _, frac := range []float64{0.25, 0.5} {
+				g := v.at("serving-goodput", cfg, frac)
+				o := v.at("serving-goodput", cfg+"-offered", frac)
+				if g < 0.9*o {
+					return fmt.Sprintf("%s at %.2fx: goodput %.2f vs offered %.2f ops/us (need >= 0.9x)",
+						cfg, frac, g, o), false
+				}
+				if s := v.at("serving-shed", cfg, frac); s > 0 {
+					return fmt.Sprintf("%s at %.2fx: shed fraction %.4f (need 0)", cfg, frac, s), false
+				}
+			}
+		}
+		return "goodput >= 0.9x offered with zero shed at 0.25x and 0.5x load", true
+	}},
+	{"serving", "serving/goodput-plateaus-under-overload", func(v *tv) (string, bool) {
+		// Past the knee, offered load keeps growing but goodput
+		// plateaus at capacity and the excess is shed, not buffered.
+		for _, cfg := range []string{"1x8", "2x16"} {
+			g15, g25 := v.at("serving-goodput", cfg, 1.5), v.at("serving-goodput", cfg, 2.5)
+			o15, o25 := v.at("serving-goodput", cfg+"-offered", 1.5), v.at("serving-goodput", cfg+"-offered", 2.5)
+			if o25 < 1.5*o15 {
+				return fmt.Sprintf("%s: offered %.2f -> %.2f ops/us (need >= 1.5x growth)", cfg, o15, o25), false
+			}
+			if g25 > 1.15*g15 || g15 > 1.15*g25 {
+				return fmt.Sprintf("%s: goodput %.2f at 1.5x vs %.2f at 2.5x (need within 1.15x)", cfg, g15, g25), false
+			}
+			if s := v.at("serving-shed", cfg, 2.5); s <= 0 {
+				return fmt.Sprintf("%s: no load shed at 2.5x capacity", cfg), false
+			}
+		}
+		return "goodput flat (within 1.15x) from 1.5x to 2.5x offered load, with shedding", true
+	}},
+	{"serving", "serving/capacity-scales-with-topology", func(v *tv) (string, bool) {
+		// 2x16 has 4x the threads of 1x8, so its saturated goodput
+		// must be at least 2x (it measures ~4x).
+		small, big := v.at("serving-goodput", "1x8", 2.5), v.at("serving-goodput", "2x16", 2.5)
+		return ratio("saturated goodput 2x16 vs 1x8", big, small, 2)
+	}},
+	{"serving", "serving/burst-hurts-tail", func(v *tv) (string, bool) {
+		// At the same sub-knee mean rate, correlated mmpp on-phases
+		// transiently exceed capacity and must cost the tail >= 2x
+		// what a memoryless stream pays (it measures ~10x).
+		pp, mm := v.at("serving-burst", "poisson", 0.5), v.at("serving-burst", "mmpp", 0.5)
+		return ratio("p99 mmpp vs poisson at 0.5x load", mm, pp, 2)
+	}},
+	{"serving", "serving/queue-wait-dominates-overload", func(v *tv) (string, bool) {
+		// The latency split must attribute the post-knee explosion to
+		// queue wait: service p99 stays flat while wait p99 dwarfs it.
+		svcSub := v.at("serving-latency", "service-p99", 0.5)
+		svcOver := v.at("serving-latency", "service-p99", 2.5)
+		wait := v.at("serving-latency", "wait-p99", 2.5)
+		if svcOver > 2*svcSub {
+			return fmt.Sprintf("service p99 grew %.2f -> %.2fus past the knee (need <= 2x)", svcSub, svcOver), false
+		}
+		return ratio("overload wait p99 vs service p99", wait, svcOver, 4)
+	}},
 }
 
 // telemetryShapeChecks are the predicates over the *instrumented*
@@ -459,6 +549,24 @@ var telemetryShapeChecks = []shapeCheck{
 			}
 		}
 		return fmt.Sprintf("t_max trajectory: %d points within [t0, t_M]", len(pts)), true
+	}},
+	{"serving", "telemetry/serving/admission-books-balance", func(v *tv) (string, bool) {
+		// The instrumented point runs at 2.5x capacity: every arrival
+		// is either admitted or shed (never silently dropped), and
+		// overload must actually shed.
+		off := v.atLabel("counters", "value", "serve/offered")
+		adm := v.atLabel("counters", "value", "serve/admitted")
+		shed := v.atLabel("counters", "value", "serve/shed")
+		return fmt.Sprintf("offered %.0f, admitted %.0f, shed %.0f (need offered = admitted + shed, shed > 0)",
+			off, adm, shed), off > 0 && shed > 0 && off == adm+shed
+	}},
+	{"serving", "telemetry/serving/qdepth-bounded", func(v *tv) (string, bool) {
+		// The qdepth trajectory must show a saturated but bounded
+		// queue: samples never exceed the 1x8 point's bound (64
+		// threads-worth = 512) and overload pushes it near full.
+		peak := v.seriesMax("serve/qdepth")
+		return fmt.Sprintf("peak sampled queue depth %.0f (need in [256, 512])", peak),
+			peak >= 256 && peak <= 512
 	}},
 }
 

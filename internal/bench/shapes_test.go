@@ -23,7 +23,7 @@ func TestShapesQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real quick sweeps")
 	}
-	ids := []string{"fig4", "fig3", "fig13", "fig14", "chaos"}
+	ids := []string{"fig4", "fig3", "fig13", "fig14", "chaos", "serving"}
 	if os.Getenv("SMART_SHAPES_ALL") != "" {
 		ids = append(ids, "tab1", "fig8")
 	}
@@ -45,7 +45,7 @@ func TestShapesQuick(t *testing.T) {
 func TestCheckRegistry(t *testing.T) {
 	// The required coverage: at least 10 named checks spanning the
 	// experiments EXPERIMENTS.md calls out.
-	required := []string{"fig3", "fig4", "fig8", "fig13", "tab1", "fig14", "chaos"}
+	required := []string{"fig3", "fig4", "fig8", "fig13", "tab1", "fig14", "chaos", "serving"}
 	total := 0
 	seen := map[string]bool{}
 	for _, id := range required {

@@ -275,6 +275,19 @@ func (c *Ctx) BeginOp() {
 	c.casAttempts = 0
 }
 
+// BeginOpSince is BeginOp with an earlier latency origin: the
+// operation's histogram sample spans from start (e.g. the request's
+// arrival at the cluster, before any admission-queue wait) to EndOp,
+// not just the service time on the thread. Open-loop serving uses it
+// so p99/p999 reflect what a client would observe. start must not be
+// in the future; later starts are clamped to now.
+func (c *Ctx) BeginOpSince(start sim.Time) {
+	c.BeginOp()
+	if start < c.opStart {
+		c.opStart = start
+	}
+}
+
 // EndOp closes the operation bracket, releasing the operation credit
 // and returning how many unsuccessful CAS retries the operation
 // performed.

@@ -123,6 +123,10 @@ func (h *Hist) Median() sim.Time { return h.Quantile(0.5) }
 // P99 is Quantile(0.99).
 func (h *Hist) P99() sim.Time { return h.Quantile(0.99) }
 
+// P999 is Quantile(0.999) — the SLO tail the serving experiments
+// report alongside p50/p99.
+func (h *Hist) P999() sim.Time { return h.Quantile(0.999) }
+
 // Summary is the exported percentile digest of a histogram, in the
 // shape the result tables consume.
 type Summary struct {
@@ -131,6 +135,7 @@ type Summary struct {
 	Min   sim.Time
 	P50   sim.Time
 	P99   sim.Time
+	P999  sim.Time
 	Max   sim.Time
 }
 
@@ -143,6 +148,7 @@ func (h *Hist) Summary() Summary {
 		Min:   h.Min(),
 		P50:   h.Median(),
 		P99:   h.P99(),
+		P999:  h.P999(),
 		Max:   h.Max(),
 	}
 }

@@ -157,11 +157,30 @@ func TestHistSummary(t *testing.T) {
 	if s.Count != 4 || s.Mean != 250 || s.Min != 100 || s.Max != 400 {
 		t.Fatalf("Summary = %+v", s)
 	}
-	if s.P50 != h.Median() || s.P99 != h.P99() {
+	if s.P50 != h.Median() || s.P99 != h.P99() || s.P999 != h.P999() {
 		t.Fatalf("Summary percentiles disagree with Quantile: %+v", s)
 	}
-	if s.P99 < s.P50 || s.P50 < s.Min || s.Max < s.P99 {
+	if s.P99 < s.P50 || s.P50 < s.Min || s.Max < s.P999 || s.P999 < s.P99 {
 		t.Fatalf("Summary not ordered: %+v", s)
+	}
+}
+
+func TestHistP999SeparatesTail(t *testing.T) {
+	// 1 in 500 samples is a 100x outlier: p99 must stay near the body
+	// while p999 lands in the outlier range.
+	h := NewHist()
+	for i := 0; i < 100000; i++ {
+		if i%500 == 0 {
+			h.Add(100 * sim.Microsecond)
+		} else {
+			h.Add(1 * sim.Microsecond)
+		}
+	}
+	if p99 := h.P99(); p99 > 2*sim.Microsecond {
+		t.Fatalf("P99 = %v, want near the 1us body", p99)
+	}
+	if p999 := h.P999(); p999 < 50*sim.Microsecond {
+		t.Fatalf("P999 = %v, want in the 100us outlier range", p999)
 	}
 }
 
