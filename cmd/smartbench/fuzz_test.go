@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/arrival"
 	"repro/internal/fault"
+	"repro/internal/verbs"
 )
 
 // FuzzFaultPlanParse holds the -faults parser to its contract: any
@@ -118,6 +119,61 @@ func FuzzArrivalSpecParse(f *testing.F) {
 		// String() is the canonical form: it must reparse cleanly.
 		if _, err := arrival.Parse(s.String()); err != nil {
 			t.Fatalf("canonical form %q of %q does not reparse: %v", s.String(), spec, err)
+		}
+	})
+}
+
+// FuzzBatchingSpecParse holds the -batching parser to the same
+// contract as the other spec parsers: any input either yields a config
+// or a descriptive error — never a panic — and the canonical String()
+// form of an accepted config reparses to the identical config. CI runs
+// it with a short -fuzztime budget on every push.
+func FuzzBatchingSpecParse(f *testing.F) {
+	for _, spec := range []string{
+		"off",
+		"postlist",
+		"coalesce",
+		"both",
+		"coalesce:batch=32,deadline=4us",
+		"both:batch=1,deadline=2000ns,sharedcq",
+		"postlist:sharedcq",
+		"coalesce:deadline=50us",
+		"",
+		":",
+		"off:",
+		"coalesce:batch=",
+		"coalesce:batch=0",
+		"coalesce:batch=99999999",
+		"coalesce:deadline=0ns",
+		"coalesce:deadline=-1us",
+		"coalesce:deadline=4parsecs",
+		"turbo",
+		"both:warp=9",
+	} {
+		f.Add(spec)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		b, err := verbs.ParseBatching(spec)
+		if err != nil {
+			if b.Enabled() {
+				t.Fatalf("ParseBatching(%q) returned both a config and error %v", spec, err)
+			}
+			return
+		}
+		// Whatever Parse accepts must fill to usable knobs: the thread
+		// setup divides by CoalesceBatch and arms FlushDeadline timers.
+		d := b.WithDefaults()
+		if d.Coalesce && (d.CoalesceBatch < 1 || d.FlushDeadline <= 0) {
+			t.Fatalf("ParseBatching(%q).WithDefaults() left degenerate knobs: %+v", spec, d)
+		}
+		// String() is the canonical form: it must reparse to the same
+		// config (defaults not yet filled on either side).
+		rt, err := verbs.ParseBatching(b.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", b.String(), spec, err)
+		}
+		if rt != b {
+			t.Fatalf("canonical form %q of %q reparses to %+v, want %+v", b.String(), spec, rt, b)
 		}
 	})
 }

@@ -56,13 +56,21 @@
 // calibrated against the Poisson default; burstier templates run fine
 // but may legitimately fail -check.
 //
+// -batching installs a WR-batching template on the batching ablation:
+// a spec like "both:batch=32,deadline=4us" or "coalesce:sharedcq"
+// (grammar in internal/verbs). The ablation sweeps the mode axis
+// itself, so only the template's batch=/deadline=/sharedcq overrides
+// apply. The batching shape checks are calibrated against the default
+// knobs; overridden knobs run fine but may legitimately fail -check.
+//
 // Exit status: 0 on success, 1 when -check finds shape violations or
 // -perf-baseline finds a throughput regression, 2 on usage errors (no
 // -exp, unknown ID, bad flag values, negative -parallel, -telemetry
 // or -trace with no instrumented experiment selected, -faults with a
 // malformed spec or without the chaos experiment selected, -arrival
 // with a malformed spec or without the serving experiment selected,
-// an unwritable -cpuprofile/-memprofile path, or an unreadable
+// -batching with a malformed spec or without the batching experiment
+// selected, an unwritable -cpuprofile/-memprofile path, or an unreadable
 // -perf-baseline record).
 package main
 
@@ -82,12 +90,13 @@ import (
 	"repro/internal/perf"
 	"repro/internal/result"
 	"repro/internal/sweep"
+	"repro/internal/verbs"
 )
 
 // benchSeq is the sequence number stamped into the perf records this
 // build writes: -stats produces the BENCH_<benchSeq>.json document.
 // Bump it in the PR that re-records the perf trajectory.
-const benchSeq = 7
+const benchSeq = 9
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -108,6 +117,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trace    = fs.Int("trace", 0, "keep the last N telemetry events of one instrumented run and dump them")
 		faults   = fs.String("faults", "", "fault plan for the chaos experiment: 'default' or a rule spec (see internal/fault)")
 		arrv     = fs.String("arrival", "", "arrival template for the serving experiment: e.g. 'poisson:rate=4' or 'mmpp' (see internal/arrival)")
+		batching = fs.String("batching", "", "WR-batching template for the batching experiment: e.g. 'both:batch=32,deadline=4us' (see internal/verbs)")
 		parallel = fs.Int("parallel", 0, "sweep-point workers per experiment (0 = GOMAXPROCS, 1 = sequential)")
 		stats    = fs.String("stats", "", "write the perf record (sweep points/sec + kernel hot-path stats) as JSON to this file")
 		perfBase = fs.String("perf-baseline", "", "compare this run's perf record against the given baseline; exit 1 on regression")
@@ -220,6 +230,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		bench.SetServingArrival(spec)
 		defer bench.SetServingArrival(nil)
+	}
+	if *batching != "" {
+		b, err := verbs.ParseBatching(*batching)
+		if err != nil {
+			fmt.Fprintf(stderr, "smartbench: -batching: %v\n", err)
+			return 2
+		}
+		batchingSelected := false
+		for _, e := range selected {
+			if e.ID == "batching" {
+				batchingSelected = true
+			}
+		}
+		if !batchingSelected {
+			fmt.Fprintln(stderr, "smartbench: -batching only applies to the batching experiment; add batching to -exp")
+			return 2
+		}
+		bench.SetBatching(b)
+		defer bench.SetBatching(verbs.Batching{})
 	}
 	if *trace > 0 && instrumented != 1 {
 		fmt.Fprintf(stderr, "smartbench: -trace follows a single instrumented run; select exactly one of: %s\n",
@@ -440,7 +469,9 @@ func printList(w io.Writer) {
 	fmt.Fprintln(w, "The chaos experiment accepts -faults <spec> ('default' or a rule")
 	fmt.Fprintln(w, "spec; see internal/fault) to choose the injected fault plan; the")
 	fmt.Fprintln(w, "serving experiment accepts -arrival <spec> (see internal/arrival)")
-	fmt.Fprintln(w, "to choose the swept arrival-process template.")
+	fmt.Fprintln(w, "to choose the swept arrival-process template; the batching")
+	fmt.Fprintln(w, "experiment accepts -batching <spec> (see internal/verbs) to")
+	fmt.Fprintln(w, "override the coalescing knobs its mode axis shares.")
 }
 
 // nearestID returns the registered experiment ID with the smallest

@@ -38,6 +38,9 @@ func TestUsageErrorsExit2(t *testing.T) {
 		{"malformed arrival spec", []string{"-exp", "serving", "-arrival", "weibull:rate=4"}, "unknown kind"},
 		{"arrival spec with bad rate", []string{"-exp", "serving", "-arrival", "poisson:rate=-1"}, "arrival:"},
 		{"arrival without serving selected", []string{"-exp", "fig4", "-arrival", "poisson:rate=4"}, "only applies to the serving experiment"},
+		{"malformed batching spec", []string{"-exp", "batching", "-batching", "turbo:batch=32"}, "unknown mode"},
+		{"batching spec with bad batch", []string{"-exp", "batching", "-batching", "coalesce:batch=0"}, "out of range"},
+		{"batching without batching selected", []string{"-exp", "fig4", "-batching", "both"}, "only applies to the batching experiment"},
 		{"perf tolerance too high", []string{"-exp", "fig4", "-perf-tolerance", "1.5"}, "out of range"},
 		{"perf tolerance negative", []string{"-exp", "fig4", "-perf-tolerance", "-0.1"}, "out of range"},
 		{"unwritable cpuprofile", []string{"-exp", "fig4", "-cpuprofile", "no/such/dir/cpu.prof"}, "-cpuprofile"},
@@ -76,7 +79,7 @@ func TestListMarksInstrumentedExperiments(t *testing.T) {
 	if strings.Contains(stdout, "fig4  *") {
 		t.Error("fig4 wrongly marked as instrumented")
 	}
-	for _, flag := range []string{"-telemetry", "-trace", "-arrival"} {
+	for _, flag := range []string{"-telemetry", "-trace", "-arrival", "-batching"} {
 		if !strings.Contains(stdout, flag) {
 			t.Errorf("list footer does not mention %s:\n%s", flag, stdout)
 		}

@@ -15,7 +15,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	paper := []string{"fig3", "fig4", "fig5", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "tab1"}
-	ablations := []string{"abl-db", "abl-wqe", "abl-gamma", "abl-t0", "abl-spec", "abl-payload"}
+	ablations := []string{"abl-db", "abl-wqe", "abl-gamma", "abl-t0", "abl-spec", "abl-payload", "batching"}
 	extras := []string{"chaos", "serving"}
 	all := append(append(append([]string{}, paper...), ablations...), extras...)
 	for _, id := range all {

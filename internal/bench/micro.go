@@ -62,6 +62,11 @@ type MicroResult struct {
 	DMABytesPerWR float64 // host DRAM traffic per work request (Fig. 4b)
 	WQEMissRate   float64
 	Completed     uint64
+
+	// CMaxMean is the mean final C_max credit ceiling across threads
+	// (0 unless WorkReqThrottle) — the batching ablation reads it to
+	// show the §4.2 controller adopting larger grants under coalescing.
+	CMaxMean float64
 }
 
 // RunMicro executes the micro-benchmark and returns the measured
@@ -88,6 +93,7 @@ func RunMicro(cfg MicroConfig) MicroResult {
 		BladeCapacity: cfg.Region + (1 << 16),
 		Seed:          cfg.Seed,
 		Params:        cfg.Params,
+		Batching:      cfg.Opts.Batching,
 	})
 	defer cl.Stop()
 	eng := cl.Eng
@@ -98,6 +104,10 @@ func RunMicro(cfg MicroConfig) MicroResult {
 	}
 
 	cfg.Opts.Telemetry = cfg.Telemetry
+	// The cluster is the source of truth for the batching config (the
+	// cfg.Opts value seeded it above; reading it back picks up the
+	// filled defaults) — the same wiring path smartbench -batching uses.
+	cfg.Opts.Batching = cl.Batching
 	rt := core.MustNew(cl.Computes[0].NIC, cl.Targets(), cfg.Threads, cfg.Opts)
 	defer rt.Stop()
 
@@ -187,6 +197,13 @@ func RunMicro(cfg MicroConfig) MicroResult {
 
 	completed := s1.Completed - s0.Completed
 	res := MicroResult{Completed: completed}
+	if cfg.Opts.WorkReqThrottle && cfg.Threads > 0 {
+		sum := 0
+		for i := 0; i < cfg.Threads; i++ {
+			sum += rt.Thread(i).CMax()
+		}
+		res.CMaxMean = float64(sum) / float64(cfg.Threads)
+	}
 	res.MOPS = float64(completed) / (float64(cfg.Measure) / 1e3)
 	if completed > 0 {
 		res.DMABytesPerWR = float64(s1.DMABytes-s0.DMABytes) / float64(completed)

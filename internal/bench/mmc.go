@@ -1,0 +1,71 @@
+package bench
+
+import "math"
+
+// Closed-form M/M/c queueing formulas (Erlang's delay system), used by
+// the analytic sanity test that pins the serving experiment's
+// saturation knee to first-principles queueing theory rather than to a
+// previously measured value. The serving pipeline at one runtime is
+// approximately an M/M/c station: Poisson arrivals (the default
+// -arrival template), c = threads x coroutines parallel servers, and a
+// near-deterministic service time — so the Erlang-C wait over-predicts
+// the measured wait (M/D/c waits are about half M/M/c) and the knee
+// location matches closely.
+
+// ErlangB returns the Erlang-B blocking probability B(c, a) for c
+// servers offered a Erlangs, via the standard numerically stable
+// recurrence B(k) = a*B(k-1) / (k + a*B(k-1)).
+func ErlangB(c int, a float64) float64 {
+	if c < 0 || a < 0 {
+		panic("bench: ErlangB needs c >= 0 and a >= 0")
+	}
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	return b
+}
+
+// ErlangC returns the Erlang-C delay probability C(c, a) — the
+// steady-state probability an arrival finds all c servers busy and
+// waits — for offered load a = lambda/mu Erlangs. Returns 1 when the
+// system is unstable (a >= c).
+func ErlangC(c int, a float64) float64 {
+	if c <= 0 {
+		panic("bench: ErlangC needs c >= 1")
+	}
+	if a >= float64(c) {
+		return 1
+	}
+	b := ErlangB(c, a)
+	rho := a / float64(c)
+	return b / (1 - rho*(1-b))
+}
+
+// MMCWait returns the M/M/c mean queueing delay W_q =
+// C(c, a) / (c*mu - lambda) for arrival rate lambda and per-server
+// service rate mu (same time unit). Returns +Inf when unstable.
+func MMCWait(c int, lambda, mu float64) float64 {
+	if mu <= 0 {
+		panic("bench: MMCWait needs mu > 0")
+	}
+	a := lambda / mu
+	if a >= float64(c) {
+		return math.Inf(1)
+	}
+	return ErlangC(c, a) / (float64(c)*mu - lambda)
+}
+
+// MMCKnee returns the smallest load fraction (of the nominal capacity
+// c*mu, scanned in steps of 0.01) at which the M/M/c mean wait reaches
+// tau — the analytic saturation knee the serving shape is pinned to.
+// Returns 1.0 if the wait stays below tau for every stable fraction.
+func MMCKnee(c int, mu, tau float64) float64 {
+	cap := float64(c) * mu
+	for f := 0.01; f < 1.0; f += 0.01 {
+		if MMCWait(c, f*cap, mu) >= tau {
+			return f
+		}
+	}
+	return 1.0
+}

@@ -460,6 +460,86 @@ var shapeChecks = []shapeCheck{
 		pp, mm := v.at("serving-burst", "poisson", 0.5), v.at("serving-burst", "mmpp", 0.5)
 		return ratio("p99 mmpp vs poisson at 0.5x load", mm, pp, 2)
 	}},
+	// Batching — WR postlist + doorbell coalescing (DESIGN.md §16).
+	// Calibrated against both densities: the quick grid keeps batch
+	// points {4, 16} and thread points {8, 48, 96}, so every predicate
+	// runs in both modes.
+	{"batching", "batching/contended-fraction-falls-with-batch", func(v *tv) (string, bool) {
+		// Chaining B WRs per doorbell ring divides lock acquisitions by
+		// B, so the contended fraction per posted WR must fall
+		// monotonically with batch size and collapse overall (measured:
+		// 0.044 -> 0.001 over the quick grid).
+		for _, series := range []string{"postlist", "both"} {
+			pts := v.points("batching-contention", series)
+			if len(pts) < 2 {
+				return fmt.Sprintf("%s: %d contention points (need >= 2)", series, len(pts)), false
+			}
+			for i := 1; i < len(pts); i++ {
+				if pts[i].Value > pts[i-1].Value+1e-9 {
+					return fmt.Sprintf("%s: contended/WR rose batch %g -> %g: %.4f -> %.4f",
+						series, pts[i-1].X, pts[i].X, pts[i-1].Value, pts[i].Value), false
+				}
+			}
+			first, last := pts[0].Value, pts[len(pts)-1].Value
+			if first < 4*last {
+				return fmt.Sprintf("%s: contended/WR %.4f at batch %g vs %.4f at batch %g (need >= 4x fall)",
+					series, first, pts[0].X, last, pts[len(pts)-1].X), false
+			}
+		}
+		return "contended/WR falls monotonically (and >= 4x overall) with batch for postlist and both", true
+	}},
+	{"batching", "batching/unbatched-stays-contended", func(v *tv) (string, bool) {
+		// The control: without chaining, 96 threads on 12 doorbells keep
+		// the per-WR contended fraction near 1 at the largest batch.
+		pts := v.points("batching-contention", "off")
+		if len(pts) == 0 {
+			return "", false
+		}
+		last := pts[len(pts)-1]
+		return fmt.Sprintf("off: contended/WR %.3f at batch %g (need >= 0.5)", last.Value, last.X),
+			last.Value >= 0.5
+	}},
+	{"batching", "batching/postlist-throughput-wins", func(v *tv) (string, bool) {
+		// Amortizing the doorbell must buy real throughput on the
+		// doorbell-bound config: >= 1.5x at every batch >= 4 (measured
+		// 2.1-3.6x), and >= 2x at 96 threads on the thread sweep.
+		for _, p := range v.points("batching-depth", "off") {
+			if p.X < 4 {
+				continue
+			}
+			pl := v.at("batching-depth", "postlist", p.X)
+			if pl < 1.5*p.Value {
+				return fmt.Sprintf("batch %g: postlist %.1f vs off %.1f MOPS (need >= 1.5x)",
+					p.X, pl, p.Value), false
+			}
+		}
+		pl, off := v.at("batching-threads", "postlist", 96), v.at("batching-threads", "off", 96)
+		return ratio("96thr batch16 postlist vs off", pl, off, 2)
+	}},
+	{"batching", "batching/cmax-larger-under-coalescing", func(v *tv) (string, bool) {
+		// §4.2 coupling: deferring submission behind the coalescing
+		// buffer rewards larger credit grants, so the controller must
+		// adopt a higher mean C_max than unbatched (measured 5.9 vs 4.9,
+		// and 10.3 with chaining on top), always within the candidate
+		// range [4, 12].
+		off := v.atLabel("batching-cmax", "cmax-mean", "off")
+		co := v.atLabel("batching-cmax", "cmax-mean", "coalesce")
+		both := v.atLabel("batching-cmax", "cmax-mean", "both")
+		for _, m := range []struct {
+			name string
+			val  float64
+		}{{"off", off}, {"coalesce", co}, {"both", both}} {
+			if m.val < 4 || m.val > 12 {
+				return fmt.Sprintf("%s: mean C_max %.2f outside candidate range [4,12]", m.name, m.val), false
+			}
+		}
+		if co < 1.1*off {
+			return fmt.Sprintf("coalesce C_max %.2f vs off %.2f (need >= 1.1x)", co, off), false
+		}
+		return fmt.Sprintf("C_max off %.2f < coalesce %.2f, both %.2f (need both >= 1.3x off)", off, co, both),
+			both >= 1.3*off
+	}},
+
 	{"serving", "serving/queue-wait-dominates-overload", func(v *tv) (string, bool) {
 		// The latency split must attribute the post-knee explosion to
 		// queue wait: service p99 stays flat while wait p99 dwarfs it.

@@ -45,7 +45,7 @@ func TestShapesQuick(t *testing.T) {
 func TestCheckRegistry(t *testing.T) {
 	// The required coverage: at least 10 named checks spanning the
 	// experiments EXPERIMENTS.md calls out.
-	required := []string{"fig3", "fig4", "fig8", "fig13", "tab1", "fig14", "chaos", "serving"}
+	required := []string{"fig3", "fig4", "fig8", "fig13", "tab1", "fig14", "chaos", "serving", "batching"}
 	total := 0
 	seen := map[string]bool{}
 	for _, id := range required {

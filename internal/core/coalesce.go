@@ -1,0 +1,190 @@
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/verbs"
+)
+
+// flush reasons, for the batch/* telemetry counters.
+const (
+	flushFull = iota
+	flushDeadline
+	flushSync
+)
+
+// coalEntry is one buffered posting: the WR plus the context that
+// posted it (the context's bookkeeping already ran at post time; only
+// submission is deferred).
+type coalEntry struct {
+	c  *Ctx
+	wr *verbs.WR
+}
+
+// coalescer is the per-thread doorbell coalescing buffer (DESIGN.md
+// §16): post() enqueues instead of submitting, and the buffer is
+// flushed — WRs submitted to the card, in enqueue order — when it
+// fills to CoalesceBatch, when the oldest entry's FlushDeadline
+// expires (an engine timer wakes the thread's flusher process), or
+// explicitly at Sync, which is what keeps the happens-before contract:
+// a coroutine entering Sync has everything it posted submitted before
+// it parks.
+//
+// All state is engine-context-only, like the rest of the thread: the
+// buffer is touched from posting coroutines, the flusher process, and
+// timer callbacks, which the engine serializes by construction.
+type coalescer struct {
+	t       *Thread
+	buf     []coalEntry
+	spare   []coalEntry // recycled buffer, so steady-state flushing does not allocate
+	scratch []*verbs.WR // recycled postlist chain, same purpose
+	firstAt sim.Time    // enqueue time of the oldest buffered entry
+	gen     uint64      // bumped per flush; invalidates stale deadline timers
+	due     bool
+	flusher *sim.Proc
+
+	// CoalesceStats counters (harvested by Collect when batching is on).
+	flushes   [3]uint64 // by reason
+	coalesced uint64    // WRs that went through the buffer
+	overruns  uint64    // flushes later than firstAt+FlushDeadline
+}
+
+// CoalesceStats is the coalescer's counter snapshot.
+type CoalesceStats struct {
+	FlushFull     uint64 // flushes triggered by a full buffer
+	FlushDeadline uint64 // flushes triggered by the deadline timer
+	FlushSync     uint64 // explicit flushes at Sync
+	Coalesced     uint64 // WRs submitted through the buffer
+	Overruns      uint64 // flushes that happened after the deadline
+}
+
+func newCoalescer(t *Thread) *coalescer { return &coalescer{t: t} }
+
+// CoalesceStats returns the thread's coalescing counters (zero when
+// coalescing is off).
+func (t *Thread) CoalesceStats() CoalesceStats {
+	co := t.coal
+	if co == nil {
+		return CoalesceStats{}
+	}
+	return CoalesceStats{
+		FlushFull:     co.flushes[flushFull],
+		FlushDeadline: co.flushes[flushDeadline],
+		FlushSync:     co.flushes[flushSync],
+		Coalesced:     co.coalesced,
+		Overruns:      co.overruns,
+	}
+}
+
+// Buffered returns how many WRs the coalescer currently holds.
+func (co *coalescer) Buffered() int { return len(co.buf) }
+
+// enqueue buffers one posting, arming the deadline timer on the first
+// entry and flushing inline (in the posting coroutine's context) when
+// the buffer fills.
+func (co *coalescer) enqueue(c *Ctx, wr *verbs.WR) {
+	co.buf = append(co.buf, coalEntry{c: c, wr: wr})
+	if len(co.buf) == 1 {
+		co.firstAt = co.t.rt.eng.Now()
+		co.armTimer()
+	}
+	if len(co.buf) >= co.t.rt.opts.Batching.CoalesceBatch {
+		co.flush(c.proc, flushFull)
+	}
+}
+
+// armTimer schedules the flush-by-deadline timer for the current
+// buffer generation. The callback runs in engine context — it cannot
+// submit (submission sleeps on locks) — so it marks the buffer due and
+// wakes the flusher process. A flush for any other reason bumps gen
+// first, making the pending timer a no-op.
+func (co *coalescer) armTimer() {
+	d := co.t.rt.opts.Batching.FlushDeadline
+	if d <= 0 || co.flusher == nil {
+		return
+	}
+	gen := co.gen
+	co.t.rt.eng.Schedule(d, func() {
+		if co.gen != gen || len(co.buf) == 0 || co.due {
+			return
+		}
+		co.due = true
+		co.flusher.Wake()
+	})
+}
+
+// run is the flusher process: parked until a deadline timer marks the
+// buffer due, then flushes in its own context. Unwound by Engine.Stop
+// while parked; checks the runtime's stop flag like the other
+// housekeeping processes so a stopped runtime submits nothing more.
+func (co *coalescer) run(p *sim.Proc) {
+	for {
+		for !co.due {
+			p.Suspend()
+		}
+		if co.t.rt.stopped {
+			return
+		}
+		co.due = false
+		co.flush(p, flushDeadline)
+	}
+}
+
+// flush detaches the buffer and submits every entry in enqueue order,
+// chaining consecutive same-QP runs through PostList when postlist
+// submission is also enabled (one doorbell ring per chain) and falling
+// back to per-WR PostSend otherwise. Detaching first makes the flush
+// reentrancy-safe: submission sleeps on the QP lock and doorbell, and
+// other coroutines of this thread may enqueue — or even trigger the
+// next flush — meanwhile.
+func (co *coalescer) flush(p *sim.Proc, reason int) {
+	if len(co.buf) == 0 {
+		return
+	}
+	t := co.t
+	b := &t.rt.opts.Batching
+	ents := co.buf
+	co.buf = co.spare[:0]
+	co.spare = nil
+	co.gen++
+	co.due = false
+	co.flushes[reason]++
+	co.coalesced += uint64(len(ents))
+	if d := b.FlushDeadline; d > 0 && t.rt.eng.Now() > co.firstAt+d {
+		co.overruns++
+	}
+	for i := 0; i < len(ents); {
+		qp := t.qps[t.rt.bladeIndex(ents[i].wr.Remote.Blade)]
+		j := i + 1
+		for j < len(ents) && t.qps[t.rt.bladeIndex(ents[j].wr.Remote.Blade)] == qp {
+			j++
+		}
+		if b.Postlist {
+			// The chain buffer is detached for the duration of the
+			// (sleeping) PostList call, so a reentrant flush allocates
+			// its own rather than aliasing this one.
+			chain := co.scratch[:0]
+			co.scratch = nil
+			for k := i; k < j; k++ {
+				chain = append(chain, ents[k].wr)
+			}
+			qp.PostList(p, chain...)
+			for k := range chain {
+				chain[k] = nil
+			}
+			co.scratch = chain[:0]
+		} else {
+			for k := i; k < j; k++ {
+				qp.PostSend(p, ents[k].wr)
+			}
+		}
+		for k := i; k < j; k++ {
+			t.noteOWR(1)
+			t.armWatchdog(qp, ents[k].wr)
+		}
+		i = j
+	}
+	for i := range ents {
+		ents[i] = coalEntry{}
+	}
+	co.spare = ents[:0]
+}

@@ -74,10 +74,24 @@ func (c *Ctx) FAA(addr blade.Addr, add uint64) *verbs.WR {
 func (c *Ctx) PostSend() {
 	wrs := c.buf
 	c.buf = nil
-	for i, wr := range wrs {
-		wrs[i] = nil // the card owns the WR now; don't retain it here
-		wr.OnComplete = c.onComplete
-		c.post(wr)
+	t := c.T
+	// Under shared-CQ polling the thread's poller loop dispatches
+	// completions via the ownership map instead of callbacks.
+	if t.pollOwner == nil {
+		for _, wr := range wrs {
+			wr.OnComplete = c.onComplete
+		}
+	}
+	if t.rt.opts.Batching.Postlist && t.coal == nil {
+		c.postChained(wrs)
+		for i := range wrs {
+			wrs[i] = nil // the card owns the WRs now; don't retain them here
+		}
+	} else {
+		for i, wr := range wrs {
+			wrs[i] = nil // the card owns the WR now; don't retain it here
+			c.post(wr)
+		}
 	}
 	// Reclaim the batch buffer for the next Read/Write/CAS/FAA round:
 	// only this coroutine appends to it, and the coroutine was parked
@@ -85,22 +99,65 @@ func (c *Ctx) PostSend() {
 	c.buf = wrs[:0]
 }
 
-// post sends one WR through the throttler to the card and, when the
-// watchdog is configured, arms a timeout against exactly this attempt.
-// Shared by PostSend and Sync's transparent retry.
-func (c *Ctx) post(wr *verbs.WR) {
+// postChained is PostSend's submission loop when postlist batching is
+// on (and coalescing is not layered over it): consecutive same-QP work
+// requests submit as one linked chain — one QP lock, one doorbell ring
+// — instead of one of each per WR. Under work-request throttling the
+// chain only extends while a credit is immediately available, so the
+// coroutine stalls at exactly the same points (and the same credit-
+// acquisition order holds) as the per-WR path; a batch larger than the
+// free credit balance slides through as several chains.
+func (c *Ctx) postChained(wrs []*verbs.WR) {
+	t := c.T
+	for i := 0; i < len(wrs); {
+		qp := t.qps[t.rt.bladeIndex(wrs[i].Remote.Blade)]
+		c.acquireOne(wrs[i])
+		j := i + 1
+		for j < len(wrs) &&
+			t.qps[t.rt.bladeIndex(wrs[j].Remote.Blade)] == qp &&
+			(t.credits == nil || (t.credits.Waiters() == 0 && t.credits.Available() >= 1)) {
+			c.acquireOne(wrs[j])
+			j++
+		}
+		qp.PostList(c.proc, wrs[i:j]...)
+		for k := i; k < j; k++ {
+			t.noteOWR(1)
+			t.armWatchdog(qp, wrs[k])
+		}
+		i = j
+	}
+}
+
+// acquireOne runs the pre-submission bookkeeping for one WR: the
+// pending count, the throttling credit (possibly stalling), and the
+// shared-CQ ownership registration.
+func (c *Ctx) acquireOne(wr *verbs.WR) {
 	t := c.T
 	c.pending++
 	if t.credits != nil {
 		t.credits.Acquire(c.proc, 1)
 	}
+	if t.pollOwner != nil {
+		t.pollOwner[wr] = c
+	}
+}
+
+// post sends one WR through the throttler to the card and, when the
+// watchdog is configured, arms a timeout against exactly this attempt.
+// Shared by PostSend and Sync's transparent retry.
+func (c *Ctx) post(wr *verbs.WR) {
+	t := c.T
+	c.acquireOne(wr)
+	if t.coal != nil {
+		// Doorbell coalescing: buffer the posting; the coalescer
+		// submits (and arms the watchdog) at flush time.
+		t.coal.enqueue(c, wr)
+		return
+	}
 	qp := t.qps[t.rt.bladeIndex(wr.Remote.Blade)]
 	qp.PostSend(c.proc, wr)
 	t.noteOWR(1)
-	if d := t.rt.opts.WRTimeout; d > 0 {
-		cq, attempt := qp.CQ(), wr.Attempt()
-		t.rt.eng.Schedule(d, func() { cq.Expire(wr, attempt) })
-	}
+	t.armWatchdog(qp, wr)
 }
 
 // onComplete runs in engine context when one of this coroutine's WRs
@@ -140,11 +197,18 @@ func (c *Ctx) onComplete(wr *verbs.WR) {
 // still fails after the budget is abandoned (counted, statuses left on
 // the WRs for the caller to inspect).
 func (c *Ctx) Sync() {
+	t := c.T
+	// Explicit flush before waiting: everything this thread posted is
+	// submitted before anyone parks, which is what keeps the coalescing
+	// buffer invisible to the happens-before contract (a deadline can
+	// only delay WRs nobody is waiting for yet).
+	if t.coal != nil {
+		t.coal.flush(c.proc, flushSync)
+	}
 	if c.pending > 0 {
 		c.syncing = true
 		c.proc.Suspend()
 	}
-	t := c.T
 	for round := 0; len(c.failed) > 0; round++ {
 		if round >= t.rt.opts.MaxWRRetries {
 			t.Stats.FaultAbandoned += uint64(len(c.failed))
@@ -156,6 +220,9 @@ func (c *Ctx) Sync() {
 		t.Stats.FaultRetries += uint64(len(retry))
 		for _, wr := range retry {
 			c.post(wr)
+		}
+		if t.coal != nil {
+			t.coal.flush(c.proc, flushSync)
 		}
 		if c.pending > 0 {
 			c.syncing = true

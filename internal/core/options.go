@@ -25,6 +25,7 @@ package core
 import (
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/verbs"
 )
 
 // Policy selects how queue pairs (and implicitly doorbell registers)
@@ -97,6 +98,16 @@ type Options struct {
 	RetryWindow  sim.Time // γ sampling period (default 1 ms)
 	GammaHigh    float64  // γ_H (default 0.5)
 	GammaLow     float64  // γ_L (default 0.1)
+
+	// --- Submission-path batching (DESIGN.md §16) ---
+
+	// Batching configures WR postlist submission, per-thread doorbell
+	// coalescing, and shared-CQ polling. The zero value (off) keeps the
+	// submission path byte-identical to the pre-batching model.
+	// SharedCQPoll requires a per-thread-CQ policy (PerThreadQP,
+	// PerThreadContext, or PerThreadDoorbell): a per-thread polling
+	// loop on a CQ shared across threads would steal completions.
+	Batching verbs.Batching
 
 	// --- Fault recovery (only matters when faults are injected) ---
 
@@ -190,6 +201,7 @@ func (o *Options) withDefaults() {
 	if o.GammaLow <= 0 {
 		o.GammaLow = 0.1
 	}
+	o.Batching = o.Batching.WithDefaults()
 }
 
 // ConflictAvoidance reports whether any conflict-avoidance mechanism

@@ -42,6 +42,14 @@ type Thread struct {
 	cmax        int
 	wrCompleted uint64 // monotone counter the epoch tuner samples
 
+	// Submission-path batching (DESIGN.md §16). coal buffers postings
+	// for doorbell coalescing; pollOwner, under shared-CQ polling, maps
+	// each in-flight WR to the context that posted it so the thread's
+	// polling loop can dispatch completions (inserted at post, deleted
+	// at dispatch, never ranged — map order can never leak).
+	coal      *coalescer
+	pollOwner map[*verbs.WR]*Ctx
+
 	// Conflict avoidance (§4.3). γ is "the percentage of retries for
 	// all operations": unsuccessful CAS attempts over completed
 	// operations in the window, so read-mostly workloads are not
@@ -140,6 +148,47 @@ func (t *Thread) start() {
 	}
 	if o.DynamicLimit || o.CoroThrottle {
 		t.rt.eng.Go(fmt.Sprintf("t%d-retry-ticker", t.ID), t.retryTicker)
+	}
+	if o.Batching.Coalesce {
+		t.coal = newCoalescer(t)
+		t.coal.flusher = t.rt.eng.Go(fmt.Sprintf("t%d-coal-flusher", t.ID), t.coal.run)
+	}
+	if o.Batching.SharedCQPoll {
+		t.pollOwner = make(map[*verbs.WR]*Ctx)
+		t.rt.eng.Go(fmt.Sprintf("t%d-cq-poller", t.ID), t.poller)
+	}
+}
+
+// poller is the shared-CQ polling strategy: one loop per thread
+// draining the thread's CQ and dispatching each completion to the
+// posting context, instead of per-completion OnComplete callbacks.
+// Completions (including watchdog Expires) buffer as CQEs until this
+// loop runs; stale attempts are dropped by the CQ's guard before ever
+// reaching it. Unwound by Engine.Stop while parked in WaitAny.
+func (t *Thread) poller(p *sim.Proc) {
+	for {
+		ents := t.cq.WaitAny(p)
+		if t.rt.stopped {
+			return
+		}
+		for i := range ents {
+			wr := ents[i].WR
+			c := t.pollOwner[wr]
+			delete(t.pollOwner, wr)
+			c.onComplete(wr)
+		}
+		t.cq.Recycle(ents)
+	}
+}
+
+// armWatchdog arms the per-WR software timeout against the WR's
+// current attempt. It must run after the WR is launched (launch bumps
+// the attempt), which is why the coalescer calls it at flush time
+// rather than post time.
+func (t *Thread) armWatchdog(qp *verbs.QP, wr *verbs.WR) {
+	if d := t.rt.opts.WRTimeout; d > 0 {
+		cq, attempt := qp.CQ(), wr.Attempt()
+		t.rt.eng.Schedule(d, func() { cq.Expire(wr, attempt) })
 	}
 }
 

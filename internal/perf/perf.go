@@ -25,7 +25,10 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/blade"
+	"repro/internal/rnic"
 	"repro/internal/sim"
+	"repro/internal/verbs"
 )
 
 // SchemaVersion identifies the record layout. Bump it when fields
@@ -156,6 +159,7 @@ func MeasureKernel() []PathStats {
 		measure("schedule", runScheduleChurn),
 		measure("park-wake", runParkWake),
 		measure("mutex-handoff", runMutexHandoff),
+		measure("doorbell", runDoorbellBatch),
 	}
 }
 
@@ -239,6 +243,48 @@ func runParkWake(events int) uint64 {
 			p.Sleep(0)
 		}
 	})
+	e.Run(0)
+	ev := e.Events()
+	e.Stop()
+	return ev
+}
+
+// runDoorbellBatch drives the chained submission path end to end:
+// eight client processes, each with its own QP over the shared medium
+// doorbells, posting 16-deep READ postlists and draining their CQs.
+// This is the verbs-layer hot path the WR-batching work optimizes —
+// one doorbell ring and one QP lock acquisition per chain — measured
+// above the raw kernel primitives so a regression in the chain
+// bookkeeping itself (and not just in park/wake underneath) moves a
+// tracked number.
+func runDoorbellBatch(events int) uint64 {
+	const chain = 16
+	e := sim.New(1)
+	cn := rnic.New(e, "compute", rnic.Default())
+	mn := rnic.New(e, "memory", rnic.Default())
+	mem := blade.New(1, blade.DRAM, 1<<20)
+	ctx := verbs.Open(cn)
+	tgt := verbs.Target{NIC: mn, Mem: mem}
+	region := mem.Alloc(chain * 8)
+	target := uint64(events)
+	for i := 0; i < 8; i++ {
+		e.Go("poster", func(p *sim.Proc) {
+			cq := ctx.CreateCQ()
+			qp := ctx.CreateQP(cq, tgt)
+			wrs := make([]*verbs.WR, chain)
+			bufs := make([][]byte, chain)
+			for j := range bufs {
+				bufs[j] = make([]byte, 8)
+			}
+			for e.Events() < target {
+				for j := range wrs {
+					wrs[j] = verbs.Read(region.Add(uint64(j)*8), bufs[j])
+				}
+				qp.PostList(p, wrs...)
+				cq.Recycle(cq.WaitN(p, chain))
+			}
+		})
+	}
 	e.Run(0)
 	ev := e.Events()
 	e.Stop()

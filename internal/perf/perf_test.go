@@ -105,17 +105,23 @@ func TestMeasureKernel(t *testing.T) {
 		t.Skip("timing workload")
 	}
 	stats := MeasureKernel()
-	if len(stats) != 3 {
-		t.Fatalf("MeasureKernel returned %d paths, want 3", len(stats))
+	if len(stats) != 4 {
+		t.Fatalf("MeasureKernel returned %d paths, want 4", len(stats))
 	}
 	for _, s := range stats {
 		if s.Events == 0 || s.EventsPerSec <= 0 || s.NsPerEvent <= 0 {
 			t.Fatalf("path %q: degenerate stats %+v", s.Path, s)
 		}
-		// The refactor's whole point: the hot paths allocate (nearly)
-		// nothing. Allow a little slack for runtime-internal mallocs.
-		if s.AllocsPerEvent > 0.1 {
-			t.Fatalf("path %q allocates %.3f allocs/event, want ~0", s.Path, s.AllocsPerEvent)
+		// The refactor's whole point: the kernel hot paths allocate
+		// (nearly) nothing. The doorbell path sits above them in the
+		// verbs layer and allocates its WRs by design; it gets a looser
+		// ceiling that still catches a per-event allocation creeping in.
+		ceiling := 0.1
+		if s.Path == "doorbell" {
+			ceiling = 1.0
+		}
+		if s.AllocsPerEvent > ceiling {
+			t.Fatalf("path %q allocates %.3f allocs/event, want <= %.1f", s.Path, s.AllocsPerEvent, ceiling)
 		}
 	}
 }

@@ -124,11 +124,23 @@ type Params struct {
 	DBHold            sim.Time
 	DBBouncePerWaiter sim.Time
 
+	// DBChainedHold is the incremental spinlock hold per additional
+	// work request in a chained (postlist) doorbell update: the extra
+	// WQE write under the lock, without the per-WR MMIO the chain
+	// amortizes away. Only the batched submission path (verbs
+	// RingN/PostList) pays it.
+	DBChainedHold sim.Time
+
 	// QPLockHold and QPBouncePerWaiter model the userspace QP lock that
 	// serializes threads sharing a queue pair (shared/multiplexed
 	// policies).
 	QPLockHold        sim.Time
 	QPBouncePerWaiter sim.Time
+
+	// QPChainedHold is the incremental QP-lock hold per additional work
+	// request in a postlist chain (send-queue bookkeeping per WR; the
+	// lock itself is taken once per chain).
+	QPChainedHold sim.Time
 
 	// --- Transport recovery (only exercised under fault injection) ---
 
@@ -181,9 +193,11 @@ func Default() Params {
 
 		DBHold:            110,
 		DBBouncePerWaiter: 60,
+		DBChainedHold:     20,
 
 		QPLockHold:        50,
 		QPBouncePerWaiter: 10,
+		QPChainedHold:     10,
 
 		RetransmitTimeout: 20 * sim.Microsecond,
 		MaxRetransmits:    4,

@@ -1,0 +1,227 @@
+package verbs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Batching configures the submission-path batching techniques layered
+// on top of the plain per-WR PostSend path (RDMAbox-style postlist
+// submission and doorbell coalescing; see DESIGN.md §16). The zero
+// value — batching off — is the default everywhere, and every ring and
+// event on that path stays byte-identical to the pre-batching model.
+type Batching struct {
+	// Postlist submits chains of linked work requests with one QP lock
+	// acquisition and one doorbell ring per chain (ibv_post_send with a
+	// next pointer) instead of one of each per WR.
+	Postlist bool
+
+	// Coalesce buffers posted work requests in a per-thread software
+	// coalescing buffer and submits them together: when the buffer
+	// reaches CoalesceBatch entries (flush-by-full), when the oldest
+	// buffered WR has waited FlushDeadline of sim time
+	// (flush-by-deadline, via an engine timer), or when the posting
+	// thread reaches a Sync/WaitN point (explicit flush, so the
+	// happens-before contract of "sync waits for everything posted"
+	// holds without waiting out the deadline).
+	Coalesce bool
+
+	// CoalesceBatch is the flush-by-full threshold (default 16).
+	CoalesceBatch int
+
+	// FlushDeadline bounds how long a buffered WR may wait before the
+	// coalescer submits it (default 2µs, roughly one unloaded RTT).
+	FlushDeadline sim.Time
+
+	// SharedCQPoll routes completions through one per-thread CQ polling
+	// loop (a coroutine draining the thread's CQ and dispatching to the
+	// posting contexts) instead of per-completion callbacks — the
+	// shared-CQ polling strategy option. Requires a per-thread-CQ
+	// allocation policy.
+	SharedCQPoll bool
+}
+
+// Enabled reports whether any batching technique is on.
+func (b Batching) Enabled() bool { return b.Postlist || b.Coalesce || b.SharedCQPoll }
+
+// WithDefaults returns b with unset knobs filled in.
+func (b Batching) WithDefaults() Batching {
+	if b.Coalesce {
+		if b.CoalesceBatch <= 0 {
+			b.CoalesceBatch = 16
+		}
+		if b.FlushDeadline <= 0 {
+			b.FlushDeadline = 2 * sim.Microsecond
+		}
+	}
+	return b
+}
+
+// String renders the canonical spec form, parseable by ParseBatching.
+func (b Batching) String() string {
+	var mode string
+	switch {
+	case b.Postlist && b.Coalesce:
+		mode = "both"
+	case b.Postlist:
+		mode = "postlist"
+	case b.Coalesce:
+		mode = "coalesce"
+	default:
+		mode = "off"
+	}
+	var opts []string
+	if b.Coalesce && b.CoalesceBatch > 0 {
+		opts = append(opts, fmt.Sprintf("batch=%d", b.CoalesceBatch))
+	}
+	if b.Coalesce && b.FlushDeadline > 0 {
+		opts = append(opts, fmt.Sprintf("deadline=%dns", int64(b.FlushDeadline)))
+	}
+	if b.SharedCQPoll {
+		opts = append(opts, "sharedcq")
+	}
+	if len(opts) == 0 {
+		return mode
+	}
+	return mode + ":" + strings.Join(opts, ",")
+}
+
+// ParseBatching builds a Batching config from a -batching spec string.
+// The grammar:
+//
+//	spec := mode [":" opt ("," opt)*]
+//	mode := "off" | "postlist" | "coalesce" | "both"
+//	opt  := "batch=" n      (coalesce flush-by-full threshold)
+//	      | "deadline=" dur (coalesce flush deadline; ns/us/ms/s suffix)
+//	      | "sharedcq"      (shared-CQ polling strategy)
+//
+// Examples: "postlist", "coalesce:batch=32,deadline=4us",
+// "both:sharedcq". Defaults are filled by WithDefaults; malformed
+// specs return an error, never panic.
+func ParseBatching(spec string) (Batching, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return Batching{}, fmt.Errorf("batching: empty spec")
+	}
+	mode, opts, hasOpts := strings.Cut(spec, ":")
+	var b Batching
+	switch mode {
+	case "off":
+	case "postlist":
+		b.Postlist = true
+	case "coalesce":
+		b.Coalesce = true
+	case "both":
+		b.Postlist, b.Coalesce = true, true
+	default:
+		return Batching{}, fmt.Errorf("batching: unknown mode %q (want off, postlist, coalesce, or both)", mode)
+	}
+	if hasOpts {
+		for _, opt := range strings.Split(opts, ",") {
+			key, val, isKV := strings.Cut(opt, "=")
+			switch {
+			case opt == "sharedcq":
+				b.SharedCQPoll = true
+			case isKV && key == "batch":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 1 || n > 1<<16 {
+					return Batching{}, fmt.Errorf("batching: batch=%q out of range [1,65536]", val)
+				}
+				b.CoalesceBatch = n
+			case isKV && key == "deadline":
+				d, err := parseBatchDuration(val)
+				if err != nil {
+					return Batching{}, err
+				}
+				if d <= 0 {
+					return Batching{}, fmt.Errorf("batching: deadline must be positive")
+				}
+				b.FlushDeadline = d
+			default:
+				return Batching{}, fmt.Errorf("batching: unknown option %q", opt)
+			}
+		}
+	}
+	if (b.CoalesceBatch > 0 || b.FlushDeadline > 0) && !b.Coalesce {
+		return Batching{}, fmt.Errorf("batching: batch=/deadline= only apply to coalesce/both modes")
+	}
+	return b.WithDefaults(), nil
+}
+
+// parseBatchDuration parses a positive sim duration with a mandatory
+// unit suffix (ns, us, ms, s), mirroring the -faults/-arrival grammar.
+func parseBatchDuration(s string) (sim.Time, error) {
+	s = strings.TrimSpace(s)
+	unit := sim.Time(0)
+	digits := s
+	switch {
+	case strings.HasSuffix(s, "ns"):
+		unit, digits = sim.Nanosecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "us"):
+		unit, digits = sim.Microsecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "ms"):
+		unit, digits = sim.Millisecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "s"):
+		unit, digits = sim.Second, s[:len(s)-1]
+	default:
+		return 0, fmt.Errorf("batching: duration %q has no unit suffix (ns, us, ms, s)", s)
+	}
+	n, err := strconv.ParseInt(digits, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("batching: duration %q is not an integer", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("batching: duration %q is negative", s)
+	}
+	if sim.Time(n) > 3600*sim.Second/unit {
+		return 0, fmt.Errorf("batching: duration %q is implausibly large", s)
+	}
+	return sim.Time(n) * unit, nil
+}
+
+// RingN posts one doorbell update covering a chain of n linked work
+// requests: one spinlock acquisition, one MMIO write, and n WQE writes
+// under the lock. The amortization is the point of postlist submission
+// — per-chain cost is DBHold + (n-1)·DBChainedHold rather than
+// n·DBHold, and the spinlock is contended once instead of n times.
+func (d *Doorbell) RingN(p *sim.Proc, n int) {
+	d.mu.Lock(p)
+	waiters := d.mu.Waiters()
+	hold := d.p.DBHold + sim.Time(n-1)*d.p.DBChainedHold + sim.Time(waiters)*d.p.DBBouncePerWaiter
+	p.Sleep(hold)
+	d.Rings++
+	d.CoalescedWRs += uint64(n)
+	d.HoldTicks += hold
+	d.mu.Unlock()
+}
+
+// PostList posts a chain of linked work requests as one submission:
+// the calling thread pays the userspace QP lock once and the doorbell
+// ring once for the whole chain, then every WR travels through the
+// card model individually, exactly as if posted by PostSend. Batching
+// changes when work is submitted, never what completes.
+func (q *QP) PostList(p *sim.Proc, wrs ...*WR) {
+	if len(wrs) == 0 {
+		return
+	}
+	par := &q.ctx.nic.P
+	for _, wr := range wrs {
+		if wr.Remote.Blade != q.remote.Mem.ID {
+			panic(fmt.Sprintf("verbs: WR for blade %d posted on QP connected to blade %d",
+				wr.Remote.Blade, q.remote.Mem.ID))
+		}
+	}
+	q.lock.Lock(p)
+	hold := par.QPLockHold + sim.Time(len(wrs)-1)*par.QPChainedHold +
+		sim.Time(q.lock.Waiters())*par.QPBouncePerWaiter
+	p.Sleep(hold)
+	q.db.RingN(p, len(wrs))
+	q.lock.Unlock()
+	for _, wr := range wrs {
+		q.Posted++
+		q.launch(wr)
+	}
+}

@@ -44,6 +44,11 @@ type Doorbell struct {
 
 	Rings uint64
 
+	// CoalescedWRs counts work requests submitted through chained
+	// (RingN) doorbell updates — the numerator of the "coalesced WRs
+	// per ring" telemetry. Zero on the plain per-WR Ring path.
+	CoalescedWRs uint64
+
 	// HoldTicks accumulates virtual time spent holding the spinlock
 	// across all rings — the Neo-Host-style signal that separates "many
 	// rings" from "many slow rings" (waiter-inflated holds, §3.1).
