@@ -63,15 +63,34 @@
 // apply. The batching shape checks are calibrated against the default
 // knobs; overridden knobs run fine but may legitimately fail -check.
 //
+// -spec FILE runs a declarative scenario spec (internal/spec) instead
+// of a registered experiment: a versioned JSON document carrying the
+// scenario, its sweep grids and seeds, and the same fault/arrival/
+// batching templates as embedded sub-specs. -spec is mutually
+// exclusive with -exp and -quick (a spec's grids are its density) and
+// composes with -check (the spec names its check groups), -format,
+// -out, -seed, -parallel, -stats, -telemetry/-trace (for scenarios
+// with an instrumented variant), and the profile flags. -faults,
+// -arrival, and -batching override the corresponding spec field
+// before validation. -dryrun parses and validates the spec, lowers it
+// through a probing sweeper (enumeration only, nothing executes), and
+// prints the point count — CI's spec-validate job runs exactly that
+// over every golden spec. Golden specs for fig3, fig13, serving, and
+// batching live under internal/bench/testdata/specs/ and reproduce
+// those experiments byte-identically.
+//
 // Exit status: 0 on success, 1 when -check finds shape violations or
 // -perf-baseline finds a throughput regression, 2 on usage errors (no
-// -exp, unknown ID, bad flag values, negative -parallel, -telemetry
-// or -trace with no instrumented experiment selected, -faults with a
-// malformed spec or without the chaos experiment selected, -arrival
-// with a malformed spec or without the serving experiment selected,
-// -batching with a malformed spec or without the batching experiment
-// selected, an unwritable -cpuprofile/-memprofile path, or an unreadable
-// -perf-baseline record).
+// -exp or -spec, unknown ID, bad flag values, negative -parallel,
+// -telemetry or -trace with no instrumented experiment selected,
+// -faults with a malformed spec or without the chaos experiment
+// selected, -arrival with a malformed spec or without the serving
+// experiment selected, -batching with a malformed spec or without the
+// batching experiment selected, -spec with -exp or -quick or an
+// unreadable/invalid spec file, -dryrun without -spec, a spec check
+// group no shape checks exist for, an unwritable
+// -cpuprofile/-memprofile path, or an unreadable -perf-baseline
+// record).
 package main
 
 import (
@@ -89,7 +108,9 @@ import (
 	"repro/internal/fault"
 	"repro/internal/perf"
 	"repro/internal/result"
+	"repro/internal/spec"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 	"repro/internal/verbs"
 )
 
@@ -107,6 +128,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		exp      = fs.String("exp", "", "experiment id(s), comma separated, or 'all'")
+		specPath = fs.String("spec", "", "run a declarative scenario spec (JSON file; see internal/spec)")
+		dryrun   = fs.Bool("dryrun", false, "with -spec: validate and enumerate the spec's points without executing")
 		quick    = fs.Bool("quick", false, "sparse sweeps (faster, fewer points)")
 		list     = fs.Bool("list", false, "list experiments and exit")
 		format   = fs.String("format", "text", "output format: text or json")
@@ -133,10 +156,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		printList(stdout)
 		return 0
 	}
-	if *exp == "" {
+	if *specPath != "" {
+		if *exp != "" {
+			fmt.Fprintln(stderr, "smartbench: -spec and -exp are mutually exclusive; the spec selects its own scenario")
+			return 2
+		}
+		if *quick {
+			fmt.Fprintln(stderr, "smartbench: -quick does not apply to -spec runs; a spec's grids are its density")
+			return 2
+		}
+	} else if *dryrun {
+		fmt.Fprintln(stderr, "smartbench: -dryrun needs -spec")
+		return 2
+	}
+	if *exp == "" && *specPath == "" {
 		// Usage error: same message shape and exit code whether the
 		// binary was run bare or with unrelated flags.
-		fmt.Fprintln(stderr, "smartbench: no experiment selected; run with -exp <id> (or -exp all)")
+		fmt.Fprintln(stderr, "smartbench: no experiment selected; run with -exp <id> (or -exp all, or -spec FILE)")
 		fs.Usage()
 		printList(stderr)
 		return 2
@@ -161,7 +197,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var selected []*bench.Experiment
 	if *exp == "all" {
 		selected = bench.All()
-	} else {
+	} else if *exp != "" {
 		for _, id := range strings.Split(*exp, ",") {
 			id = strings.TrimSpace(id)
 			e := bench.ByID(id)
@@ -179,81 +215,154 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	// -telemetry and -trace only make sense against experiments that
-	// have instrumented variants; reject empty selections up front
-	// rather than silently writing an empty document.
+	var scenario *spec.Spec
+	if *specPath != "" {
+		s, err := spec.Load(*specPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "smartbench: -spec: %v\n", err)
+			return 2
+		}
+		scenario = s
+	}
+
+	// The three scenario-template flags share one validation path:
+	// parse the value with its leaf grammar (exit 2 on a malformed
+	// spec), then check applicability — against the -exp selection in
+	// experiment mode, or by re-validating the spec document (which
+	// knows which scenarios read which template) in -spec mode, where
+	// each flag overrides the corresponding spec field.
+	var overrides bench.Overrides
+	overridden := false
+	for _, tf := range []struct {
+		name, value, expID string
+		parse              func(string) error
+	}{
+		{"faults", *faults, "chaos", func(v string) error {
+			p, err := fault.Parse(v)
+			if err != nil {
+				return err
+			}
+			overrides.Faults = p
+			if scenario != nil {
+				scenario.Faults = v
+			}
+			return nil
+		}},
+		{"arrival", *arrv, "serving", func(v string) error {
+			a, err := arrival.Parse(v)
+			if err != nil {
+				return err
+			}
+			overrides.Arrival = a
+			if scenario != nil {
+				scenario.Arrival = v
+			}
+			return nil
+		}},
+		{"batching", *batching, "batching", func(v string) error {
+			b, err := verbs.ParseBatching(v)
+			if err != nil {
+				return err
+			}
+			overrides.Batching = b
+			if scenario != nil {
+				scenario.Batching = v
+			}
+			return nil
+		}},
+	} {
+		if tf.value == "" {
+			continue
+		}
+		if err := tf.parse(tf.value); err != nil {
+			fmt.Fprintf(stderr, "smartbench: -%s: %v\n", tf.name, err)
+			return 2
+		}
+		overridden = true
+		if scenario != nil {
+			continue
+		}
+		applies := false
+		for _, e := range selected {
+			if e.ID == tf.expID {
+				applies = true
+			}
+		}
+		if !applies {
+			fmt.Fprintf(stderr, "smartbench: -%s only applies to the %s experiment; add %s to -exp\n",
+				tf.name, tf.expID, tf.expID)
+			return 2
+		}
+	}
+	if scenario != nil {
+		if err := scenario.Validate(); err != nil {
+			fmt.Fprintf(stderr, "smartbench: -spec %s: %v\n", *specPath, err)
+			return 2
+		}
+	} else if overridden {
+		bench.SetOverrides(overrides)
+		defer bench.SetOverrides(bench.Overrides{})
+	}
+
+	// -telemetry and -trace only make sense against experiments (or a
+	// spec scenario) with instrumented variants; reject empty
+	// selections up front rather than silently writing an empty
+	// document.
 	instrumented := 0
 	for _, e := range selected {
 		if bench.HasTelemetry(e.ID) {
 			instrumented++
 		}
 	}
+	if scenario != nil && spec.Instrumented(scenario.Scenario) {
+		instrumented++
+	}
 	if *telem != "" && instrumented == 0 {
+		if scenario != nil {
+			fmt.Fprintf(stderr, "smartbench: -telemetry needs an instrumented scenario; %q has no instrumented variant\n",
+				scenario.Scenario)
+			return 2
+		}
 		fmt.Fprintf(stderr, "smartbench: -telemetry needs an instrumented experiment; have: %s\n",
 			strings.Join(bench.TelemetryExperiments(), ", "))
 		return 2
 	}
-	if *faults != "" {
-		plan, err := fault.Parse(*faults)
-		if err != nil {
-			fmt.Fprintf(stderr, "smartbench: -faults: %v\n", err)
-			return 2
-		}
-		chaosSelected := false
-		for _, e := range selected {
-			if e.ID == "chaos" {
-				chaosSelected = true
-			}
-		}
-		if !chaosSelected {
-			fmt.Fprintln(stderr, "smartbench: -faults only applies to the chaos experiment; add chaos to -exp")
-			return 2
-		}
-		bench.SetChaosFaults(plan)
-		defer bench.SetChaosFaults(nil)
-	}
-	if *arrv != "" {
-		spec, err := arrival.Parse(*arrv)
-		if err != nil {
-			fmt.Fprintf(stderr, "smartbench: -arrival: %v\n", err)
-			return 2
-		}
-		servingSelected := false
-		for _, e := range selected {
-			if e.ID == "serving" {
-				servingSelected = true
-			}
-		}
-		if !servingSelected {
-			fmt.Fprintln(stderr, "smartbench: -arrival only applies to the serving experiment; add serving to -exp")
-			return 2
-		}
-		bench.SetServingArrival(spec)
-		defer bench.SetServingArrival(nil)
-	}
-	if *batching != "" {
-		b, err := verbs.ParseBatching(*batching)
-		if err != nil {
-			fmt.Fprintf(stderr, "smartbench: -batching: %v\n", err)
-			return 2
-		}
-		batchingSelected := false
-		for _, e := range selected {
-			if e.ID == "batching" {
-				batchingSelected = true
-			}
-		}
-		if !batchingSelected {
-			fmt.Fprintln(stderr, "smartbench: -batching only applies to the batching experiment; add batching to -exp")
-			return 2
-		}
-		bench.SetBatching(b)
-		defer bench.SetBatching(verbs.Batching{})
-	}
 	if *trace > 0 && instrumented != 1 {
+		if scenario != nil {
+			fmt.Fprintf(stderr, "smartbench: -trace follows a single instrumented run; scenario %q has no instrumented variant\n",
+				scenario.Scenario)
+			return 2
+		}
 		fmt.Fprintf(stderr, "smartbench: -trace follows a single instrumented run; select exactly one of: %s\n",
 			strings.Join(bench.TelemetryExperiments(), ", "))
 		return 2
+	}
+
+	// A spec may only reference check groups that exist: -check against
+	// an unknown group would silently assert nothing.
+	if scenario != nil && *check {
+		for _, c := range scenario.Checks {
+			if len(bench.CheckNames(c)) == 0 {
+				fmt.Fprintf(stderr, "smartbench: -spec: no shape checks registered for group %q\n", c)
+				return 2
+			}
+		}
+	}
+
+	// -dryrun lowers the spec through a probing sweeper: full
+	// enumeration (labels, seeds, counts), zero execution. A spec that
+	// fails to compile is a usage error, same as a spec that fails to
+	// parse.
+	if *dryrun {
+		points := 0
+		probe := sweep.Probe(func(s *sweep.Set) { points += s.Len() })
+		if _, err := spec.Compile(scenario, spec.Env{Sweeper: probe, Seed: *seed}); err != nil {
+			fmt.Fprintf(stderr, "smartbench: -spec: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "smartbench: spec %s (%s scenario) enumerates %d points\n",
+			scenario.Name, scenario.Scenario, points)
+		return 0
 	}
 
 	// The baseline is read before any sweep time is spent: an
@@ -333,6 +442,64 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rec := &perf.Record{Schema: perf.SchemaVersion, Bench: benchSeq, Workers: sw.Workers(), Quick: *quick}
 	totalStart := time.Now()
 	var violations []bench.Violation
+	if scenario != nil {
+		title := scenario.Title
+		if title == "" {
+			title = scenario.Name
+		}
+		start := time.Now()
+		fmt.Fprintf(progress, "\n################ %s: %s\n", scenario.Name, title)
+		points := 0
+		sw.OnPoint(func(done, total int, p *sweep.Point) {
+			points++
+			fmt.Fprintf(progress, "[%s %d/%d %s]\n", scenario.Name, done, total, p.Label)
+		})
+		tables, err := spec.Compile(scenario, spec.Env{Sweeper: sw, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(stderr, "smartbench: -spec: %v\n", err)
+			return 2
+		}
+		doc.Experiments = append(doc.Experiments, result.Experiment{
+			ID: scenario.Name, Title: title, Tables: tables,
+		})
+		if *format == "text" {
+			result.Text(render, tables)
+		}
+		if *check {
+			for _, c := range scenario.Checks {
+				violations = append(violations, bench.Check(c, tables)...)
+			}
+		}
+		if telemetryWanted {
+			fmt.Fprintf(progress, "\n[%s: running instrumented variant]\n", scenario.Name)
+			reg := telemetry.New()
+			if *trace > 0 {
+				reg.EnableTrace(*trace)
+			}
+			ttables, err := spec.Compile(scenario, spec.Env{Sweeper: sw, Seed: *seed, Telemetry: reg})
+			if err != nil {
+				fmt.Fprintf(stderr, "smartbench: -spec: %v\n", err)
+				return 2
+			}
+			telemDoc.Experiments = append(telemDoc.Experiments, result.Experiment{
+				ID: scenario.Name, Title: title, Tables: ttables,
+			})
+			if *check {
+				for _, c := range scenario.Checks {
+					violations = append(violations, bench.CheckTelemetry(c, ttables)...)
+				}
+			}
+			if *trace > 0 {
+				reg.Trace().Write(progress)
+			}
+		}
+		wallMS := time.Since(start).Milliseconds()
+		rec.Experiments = append(rec.Experiments, perf.Experiment{
+			ID: scenario.Name, Points: points, WallMS: wallMS, PointsPerSec: perf.PerSec(points, wallMS),
+		})
+		rec.TotalPoints += points
+		fmt.Fprintf(progress, "\n[%s done in %v]\n", scenario.Name, time.Since(start).Round(time.Millisecond))
+	}
 	for _, e := range selected {
 		start := time.Now()
 		fmt.Fprintf(progress, "\n################ %s: %s\n", e.ID, e.Title)
@@ -472,6 +639,9 @@ func printList(w io.Writer) {
 	fmt.Fprintln(w, "to choose the swept arrival-process template; the batching")
 	fmt.Fprintln(w, "experiment accepts -batching <spec> (see internal/verbs) to")
 	fmt.Fprintln(w, "override the coalescing knobs its mode axis shares.")
+	fmt.Fprintln(w, "Alternatively, -spec <file.json> runs a declarative scenario spec")
+	fmt.Fprintln(w, "(see internal/spec and internal/bench/testdata/specs) instead of a")
+	fmt.Fprintln(w, "registered experiment; -dryrun prints its point count and exits.")
 }
 
 // nearestID returns the registered experiment ID with the smallest

@@ -18,6 +18,12 @@ func runCLI(args ...string) (code int, stdout, stderr string) {
 	return code, out.String(), errBuf.String()
 }
 
+// goldenSpec resolves a checked-in golden spec file relative to this
+// package's test working directory.
+func goldenSpec(name string) string {
+	return filepath.Join("..", "..", "internal", "bench", "testdata", "specs", name)
+}
+
 func TestUsageErrorsExit2(t *testing.T) {
 	cases := []struct {
 		name string
@@ -46,6 +52,15 @@ func TestUsageErrorsExit2(t *testing.T) {
 		{"unwritable cpuprofile", []string{"-exp", "fig4", "-cpuprofile", "no/such/dir/cpu.prof"}, "-cpuprofile"},
 		{"unwritable memprofile", []string{"-exp", "fig4", "-memprofile", "no/such/dir/mem.prof"}, "-memprofile"},
 		{"missing perf baseline", []string{"-exp", "fig4", "-quick", "-perf-baseline", "no/such/baseline.json"}, "-perf-baseline"},
+		{"spec with exp", []string{"-spec", "x.json", "-exp", "fig3"}, "mutually exclusive"},
+		{"spec with quick", []string{"-spec", "x.json", "-quick"}, "does not apply to -spec runs"},
+		{"dryrun without spec", []string{"-dryrun", "-exp", "fig4"}, "-dryrun needs -spec"},
+		{"missing spec file", []string{"-spec", "no/such/spec.json"}, "-spec"},
+		{"arrival on micro spec", []string{"-spec", goldenSpec("fig3_quick.json"), "-arrival", "poisson:rate=4"}, "arrival only applies to serving scenarios"},
+		{"batching on serving spec", []string{"-spec", goldenSpec("serving_quick.json"), "-batching", "both"}, "batching does not apply to serving scenarios"},
+		{"malformed faults on spec", []string{"-spec", goldenSpec("fig3_quick.json"), "-faults", "explode@1ms-2ms"}, "unknown action"},
+		{"telemetry on uninstrumented spec", []string{"-spec", goldenSpec("fig3_quick.json"), "-telemetry", "t.json"}, "has no instrumented variant"},
+		{"trace on uninstrumented spec", []string{"-spec", goldenSpec("fig3_quick.json"), "-trace", "16"}, "has no instrumented variant"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -389,5 +404,152 @@ func TestChaosRunEndToEnd(t *testing.T) {
 	}
 	if v, ok := counters.GetLabel("value", "fault/injected"); !ok || v == 0 {
 		t.Errorf("fault/injected = %g (ok=%v), want nonzero", v, ok)
+	}
+}
+
+// TestSpecFileErrorsExit2 pins the exit-2 discipline for spec files
+// that exist but are unusable: malformed JSON, schema violations, and
+// check groups no shape checks are registered for.
+func TestSpecFileErrorsExit2(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	badJSON := write("bad.json", "{ not json")
+	badSchema := write("schema.json", `{"spec":1,"name":"x","scenario":"quantum"}`)
+	badCheck := write("check.json", `{"spec":1,"name":"x","scenario":"micro","micro":{"profiles":[{"name":"b","policy":"per-thread-qp"}],"panels":[{"id":"p","title":"t","op":"read","x":"threads","threads":[8],"batch":[8],"seed":1}]},"checks":["nonesuch"]}`)
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"malformed json", []string{"-spec", badJSON}, "-spec"},
+		{"schema violation", []string{"-spec", badSchema}, "unknown scenario"},
+		{"unknown check group", []string{"-spec", badCheck, "-check"}, "no shape checks registered"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, _, stderr := runCLI(c.args...)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2; stderr:\n%s", code, stderr)
+			}
+			if !strings.Contains(stderr, c.want) {
+				t.Errorf("stderr missing %q:\n%s", c.want, stderr)
+			}
+		})
+	}
+
+	// Without -check the unknown group is dormant, so a -dryrun of the
+	// same spec is fine — the gate fires only when checks would run.
+	code, stdout, stderr := runCLI("-spec", badCheck, "-dryrun")
+	if code != 0 {
+		t.Errorf("dryrun without -check: exit %d; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "enumerates") {
+		t.Errorf("dryrun stdout missing the point count:\n%s", stdout)
+	}
+}
+
+// TestSpecDryRunGoldens is CI's spec-validate job in miniature: every
+// checked-in golden spec parses, validates, and lowers through the
+// probing sweeper without executing a point.
+func TestSpecDryRunGoldens(t *testing.T) {
+	files, err := filepath.Glob(goldenSpec("*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no golden specs found")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			code, stdout, stderr := runCLI("-spec", f, "-dryrun")
+			if code != 0 {
+				t.Fatalf("exit %d, want 0; stderr:\n%s", code, stderr)
+			}
+			if !strings.Contains(stdout, "enumerates") || strings.Contains(stdout, "enumerates 0 points") {
+				t.Errorf("dryrun did not report a positive point count:\n%s", stdout)
+			}
+		})
+	}
+}
+
+// TestSpecRunEndToEnd runs the fig3 golden spec through the CLI with
+// checks and JSON output: the document must carry the spec's name as
+// its experiment ID and the panel tables the spec declares.
+func TestSpecRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real sweep")
+	}
+	out := filepath.Join(t.TempDir(), "spec.json")
+	code, stdout, stderr := runCLI(
+		"-spec", goldenSpec("fig3_quick.json"), "-check",
+		"-format", "json", "-out", out, "-parallel", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr:\n%s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("-out set but stdout not empty:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "all shape checks passed") {
+		t.Errorf("progress stream missing the check verdict:\n%s", stderr)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	doc, err := result.ParseJSON(f)
+	if err != nil {
+		t.Fatalf("spec output is not valid JSON: %v", err)
+	}
+	if len(doc.Experiments) != 1 || doc.Experiments[0].ID != "fig3-quick" {
+		t.Fatalf("experiments = %+v, want one fig3-quick entry", doc.Experiments)
+	}
+	for _, id := range []string{"fig3-read", "fig3-write"} {
+		if result.Find(doc.Experiments[0].Tables, id) == nil {
+			t.Errorf("spec document missing table %q", id)
+		}
+	}
+}
+
+// TestSpecTelemetryEndToEnd exercises the spec path's instrumented
+// branch: the serving golden spec with -telemetry must write a second
+// document harvested from the overload point's registry.
+func TestSpecTelemetryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the serving sweep twice")
+	}
+	dir := t.TempDir()
+	telem := filepath.Join(dir, "telem.json")
+	code, _, stderr := runCLI(
+		"-spec", goldenSpec("serving_quick.json"),
+		"-format", "json", "-out", filepath.Join(dir, "out.json"), "-telemetry", telem)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr:\n%s", code, stderr)
+	}
+	f, err := os.Open(telem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	doc, err := result.ParseJSON(f)
+	if err != nil {
+		t.Fatalf("telemetry output is not valid JSON: %v", err)
+	}
+	if doc.Generator != "smartbench-telemetry" {
+		t.Errorf("generator = %q, want smartbench-telemetry", doc.Generator)
+	}
+	if len(doc.Experiments) != 1 || doc.Experiments[0].ID != "serving-quick" {
+		t.Fatalf("telemetry experiments = %+v, want one serving-quick entry", doc.Experiments)
+	}
+	if result.Find(doc.Experiments[0].Tables, "counters") == nil {
+		t.Error("telemetry document missing the counters table")
 	}
 }

@@ -1,14 +1,8 @@
 package bench
 
 import (
-	"fmt"
-
-	"repro/internal/core"
 	"repro/internal/result"
-	"repro/internal/rnic"
-	"repro/internal/sim"
 	"repro/internal/sweep"
-	"repro/internal/telemetry"
 	"repro/internal/verbs"
 )
 
@@ -29,23 +23,23 @@ import (
 //smartlint:ignore sharedstate — written only by CLI setup before any sweep runs
 var batchingKnobs verbs.Batching
 
-// SetBatching installs the -batching template; the zero value restores
+// setBatching installs the -batching template; the zero value restores
 // the defaults.
-func SetBatching(b verbs.Batching) { batchingKnobs = b }
+func setBatching(b verbs.Batching) { batchingKnobs = b }
 
 // batchingFor builds one swept point's batching config: the mode's
-// postlist/coalesce bits, the point's coalesce threshold, and the CLI
+// postlist/coalesce bits, the point's coalesce threshold, and the knob
 // template's overrides.
-func batchingFor(mode verbs.Batching, coalesceBatch int) verbs.Batching {
+func batchingFor(knobs, mode verbs.Batching, coalesceBatch int) verbs.Batching {
 	b := mode
-	b.SharedCQPoll = b.SharedCQPoll || batchingKnobs.SharedCQPoll
+	b.SharedCQPoll = b.SharedCQPoll || knobs.SharedCQPoll
 	if b.Coalesce {
 		b.CoalesceBatch = coalesceBatch
-		if batchingKnobs.CoalesceBatch > 0 {
-			b.CoalesceBatch = batchingKnobs.CoalesceBatch
+		if knobs.CoalesceBatch > 0 {
+			b.CoalesceBatch = knobs.CoalesceBatch
 		}
-		if batchingKnobs.FlushDeadline > 0 {
-			b.FlushDeadline = batchingKnobs.FlushDeadline
+		if knobs.FlushDeadline > 0 {
+			b.FlushDeadline = knobs.FlushDeadline
 		}
 	}
 	return b.WithDefaults()
@@ -74,105 +68,7 @@ func init() {
 		Category: "ablations",
 		Title:    "Ablation: WR postlist batching + doorbell coalescing (§3.1 model, DESIGN.md §16)",
 		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
-			batches := []int{2, 4, 8, 16, 32}
-			if quick {
-				batches = []int{4, 16}
-			}
-			grid := threadGrid(quick)
-
-			depth := result.NewTable("batching-depth",
-				"Batching — READ MOPS vs post batch (96 threads, per-thread QP)", "batch")
-			depth.YUnit, depth.Prec = "MOPS", 1
-			cont := result.NewTable("batching-contention",
-				"Batching — contended doorbell acquisitions per posted WR vs batch (96 threads, per-thread QP)", "batch")
-			cont.Prec = 4
-			thr := result.NewTable("batching-threads",
-				"Batching — READ MOPS vs threads (batch 16, per-thread QP)", "threads")
-			thr.YUnit, thr.Prec = "MOPS", 1
-			cmaxT := result.NewTable("batching-cmax",
-				"Batching — adopted C_max under §4.2 throttling (96 threads, per-thread QP)", "mode")
-			cmaxT.Def("cmax-mean", "", 2)
-			cmaxT.Def("MOPS", "", 1)
-			for _, m := range batchingModes() {
-				depth.Def(m.name, "", 1)
-				cont.Def(m.name, "", 4)
-				thr.Def(m.name, "", 1)
-			}
-
-			set := &sweep.Set{}
-
-			// Depth sweep + contention fractions: every point harvests
-			// into its own probe registry (per-point isolation); the
-			// shared tables are written in the merges, on the caller's
-			// goroutine, in enumeration order.
-			for _, b := range batches {
-				for _, m := range batchingModes() {
-					b, m := b, m
-					probe := telemetry.New()
-					opts := core.Baseline(core.PerThreadQP)
-					opts.Batching = batchingFor(m.b, b)
-					sweep.Add(set, fmt.Sprintf("batching/depth/%s/b=%d", m.name, b), 47+seed,
-						MicroConfig{
-							Opts: opts, Threads: 96, Batch: b, Op: rnic.OpRead,
-							Seed: 47 + seed, Telemetry: probe,
-						},
-						RunMicro,
-						func(r MicroResult) {
-							depth.Add(m.name, float64(b), r.MOPS)
-							contended := probe.Value("db/contended-total")
-							wrs := probe.Value("core/wrs")
-							frac := 0.0
-							if wrs > 0 {
-								frac = float64(contended) / float64(wrs)
-							}
-							cont.Add(m.name, float64(b), frac)
-						})
-				}
-			}
-
-			// Thread sweep at a fixed post batch.
-			for _, n := range grid {
-				for _, m := range batchingModes() {
-					n, m := n, m
-					opts := core.Baseline(core.PerThreadQP)
-					opts.Batching = batchingFor(m.b, 16)
-					sweep.Add(set, fmt.Sprintf("batching/threads/%s/thr=%d", m.name, n), 48+seed,
-						MicroConfig{
-							Opts: opts, Threads: n, Batch: 16, Op: rnic.OpRead,
-							Seed: 48 + seed,
-						},
-						RunMicro,
-						func(r MicroResult) { thr.Add(m.name, float64(n), r.MOPS) })
-				}
-			}
-
-			// Controller coupling: the §4.2 tuner sweeps its candidate
-			// list during warmup (5 × 200µs), adopts the best, and holds
-			// it through the measurement window; CMaxMean is the adopted
-			// grant averaged over threads. The coalesce threshold sits at
-			// 8 — inside the candidate range — so flush-by-full is
-			// reachable exactly when the controller grants enough credits,
-			// which is the coupling the check pins.
-			for i, m := range batchingModes() {
-				i, m := i, m
-				opts := core.Baseline(core.PerThreadQP)
-				opts.WorkReqThrottle = true
-				opts.UpdateDelta = 200 * sim.Microsecond
-				opts.Batching = batchingFor(m.b, 8)
-				sweep.Add(set, "batching/cmax/"+m.name, 49+seed,
-					MicroConfig{
-						Opts: opts, Threads: 96, Batch: 16, Op: rnic.OpRead,
-						Seed: 49 + seed,
-					},
-					RunMicro,
-					func(r MicroResult) {
-						cmaxT.AddLabeled("cmax-mean", float64(i), m.name, r.CMaxMean)
-						cmaxT.AddLabeled("MOPS", float64(i), m.name, r.MOPS)
-					})
-			}
-
-			sw.Run(set)
-			return collect([]*result.Table{depth, cont, thr, cmaxT})
+			return runBatchingSection(sw, batchingSpec(quick).Ablation, batchingKnobs, seed)
 		},
 	})
 }

@@ -30,7 +30,7 @@ import (
 //     failure surfaces to BackoffCASSync as a conflict and drives γ.
 
 // chaosPlan is the fault plan the chaos experiment injects; the CLI
-// overrides it via SetChaosFaults (-faults). The shape checks are
+// overrides it via SetOverrides (-faults). The shape checks are
 // calibrated against fault.Default() — custom plans run fine but may
 // legitimately fail -check. Plans are stateless (Decide draws from the
 // caller's rng), so concurrent points may share one safely.
@@ -38,9 +38,9 @@ import (
 //smartlint:ignore sharedstate — written only by CLI setup before any sweep runs
 var chaosPlan = fault.Default()
 
-// SetChaosFaults installs the plan the chaos experiment uses; nil
+// setChaosFaults installs the plan the chaos experiment uses; nil
 // restores the default.
-func SetChaosFaults(p *fault.Plan) {
+func setChaosFaults(p *fault.Plan) {
 	if p == nil {
 		p = fault.Default()
 	}

@@ -9,51 +9,15 @@ import (
 	"repro/internal/rnic"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/verbs"
 )
-
-// fig3Policies returns the four QP-allocation contenders of §3.1. A
-// function rather than a package var so the runner package carries no
-// shared state between concurrently executing sweep points.
-func fig3Policies() []struct {
-	name string
-	opts core.Options
-} {
-	return []struct {
-		name string
-		opts core.Options
-	}{
-		{"shared-qp", core.Baseline(core.SharedQP)},
-		{"multiplexed-qp(q=4)", core.Baseline(core.MultiplexedQP)},
-		{"per-thread-qp", core.Baseline(core.PerThreadQP)},
-		{"per-thread-doorbell", core.Baseline(core.PerThreadDoorbell)},
-	}
-}
 
 func init() {
 	register(&Experiment{
 		ID:    "fig3",
 		Title: "Fig. 3: throughput of 8-byte READ/WRITE under different QP allocation policies (depth 8)",
 		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
-			set := &sweep.Set{}
-			var tabs []*result.Table
-			for _, op := range []rnic.OpKind{rnic.OpRead, rnic.OpWrite} {
-				t := result.NewTable(
-					"fig3-"+strings.ToLower(op.String()),
-					fmt.Sprintf("Fig. 3 — 8-byte %s, MOPS vs threads", op),
-					"threads")
-				t.YUnit, t.Prec = "MOPS", 1
-				tabs = append(tabs, t)
-				for _, thr := range threadGrid(quick) {
-					for _, p := range fig3Policies() {
-						sweep.Add(set, fmt.Sprintf("%s/%s/thr=%d", t.ID, p.name, thr), 11+seed,
-							MicroConfig{Opts: p.opts, Threads: thr, Batch: 8, Op: op, Seed: 11 + seed},
-							RunMicro,
-							func(r MicroResult) { t.Add(p.name, float64(thr), r.MOPS) })
-					}
-				}
-			}
-			sw.Run(set)
-			return collect(tabs)
+			return mustTables(runMicroPanels(sw, fig3Spec(quick).Micro, nil, verbs.Batching{}, seed))
 		},
 	})
 
@@ -96,46 +60,7 @@ func init() {
 		ID:    "fig13",
 		Title: "Fig. 13: SMART's allocation and throttling techniques in the micro-benchmark",
 		Run: func(sw *sweep.Sweeper, quick bool, seed int64) []result.Table {
-			throttled := core.Baseline(core.PerThreadDoorbell)
-			throttled.WorkReqThrottle = true
-			throttled.UpdateDelta = 400 * sim.Microsecond
-			configs := []struct {
-				name string
-				opts core.Options
-			}{
-				{"per-thread-qp", core.Baseline(core.PerThreadQP)},
-				{"per-thread-context", core.Baseline(core.PerThreadContext)},
-				{"+ThdResAlloc", core.Baseline(core.PerThreadDoorbell)},
-				{"+WorkReqThrot", throttled},
-			}
-			byThr := result.NewTable("fig13a", "Fig. 13a — 8-byte READ MOPS vs threads (batch 16)", "threads")
-			byThr.YUnit, byThr.Prec = "MOPS", 1
-			set := &sweep.Set{}
-			for _, thr := range threadGrid(quick) {
-				for _, c := range configs {
-					sweep.Add(set, fmt.Sprintf("fig13a/%s/thr=%d", c.name, thr), 13+seed,
-						MicroConfig{Opts: c.opts, Threads: thr, Batch: 16, Op: rnic.OpRead, Seed: 13 + seed},
-						RunMicro,
-						func(r MicroResult) { byThr.Add(c.name, float64(thr), r.MOPS) })
-				}
-			}
-
-			batches := []int{1, 2, 4, 8, 16, 32, 64}
-			if quick {
-				batches = []int{4, 16, 64}
-			}
-			byBatch := result.NewTable("fig13b", "Fig. 13b — 8-byte READ MOPS vs work request batch size (96 threads)", "batch")
-			byBatch.YUnit, byBatch.Prec = "MOPS", 1
-			for _, b := range batches {
-				for _, c := range configs {
-					sweep.Add(set, fmt.Sprintf("fig13b/%s/batch=%d", c.name, b), 13+seed,
-						MicroConfig{Opts: c.opts, Threads: 96, Batch: b, Op: rnic.OpRead, Seed: 13 + seed},
-						RunMicro,
-						func(r MicroResult) { byBatch.Add(c.name, float64(b), r.MOPS) })
-				}
-			}
-			sw.Run(set)
-			return collect([]*result.Table{byThr, byBatch})
+			return mustTables(runMicroPanels(sw, fig13Spec(quick).Micro, nil, verbs.Batching{}, seed))
 		},
 	})
 

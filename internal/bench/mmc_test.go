@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/arrival"
 	"repro/internal/serve"
+	"repro/internal/spec"
 )
 
 func TestErlangFormulas(t *testing.T) {
@@ -63,10 +64,11 @@ func TestServingKneeMatchesErlangC(t *testing.T) {
 		t.Skip("serving runs in -short")
 	}
 	topo := servingTopo{1, 8}
+	sv := servingSpec(true).Serving
 	run := func(frac float64) serve.Result {
-		spec := (&arrival.Spec{Kind: arrival.KindPoisson, Rate: 4}).
+		aspec := (&arrival.Spec{Kind: arrival.KindPoisson, Rate: 4}).
 			WithMeanRate(frac * topo.nominal())
-		return serve.Run(servingConfig(topo, spec, true, 0))
+		return serve.Run(servingSectionConfig(sv, spec.Topo{Runtimes: topo.runtimes, Threads: topo.threads}, aspec, 0))
 	}
 	sub := run(0.5)  // comfortably below the knee
 	near := run(0.8) // approaching it

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"repro/internal/arrival"
+	"repro/internal/fault"
+	"repro/internal/verbs"
+)
+
+// Overrides bundles the CLI's scenario templates — the parsed -faults,
+// -arrival, and -batching values — into the one override mechanism the
+// runner package exposes. Each field overrides the template of the
+// experiment family that reads it (chaos, serving, batching); a zero
+// field leaves that family on its built-in default.
+type Overrides struct {
+	// Faults is the chaos experiment's injected plan (nil = the
+	// calibrated fault.Default()).
+	Faults *fault.Plan
+	// Arrival is the serving sweep's rescaled template (nil = the
+	// calibrated Poisson default).
+	Arrival *arrival.Spec
+	// Batching is the batching ablation's knob template (zero = the
+	// sweep's own defaults).
+	Batching verbs.Batching
+}
+
+// SetOverrides installs the templates before any sweep runs;
+// SetOverrides(Overrides{}) restores every default. The CLI installs
+// the parsed flag values through this single entry point (and -spec
+// runs never touch it: a spec document carries its own templates).
+func SetOverrides(o Overrides) {
+	setChaosFaults(o.Faults)
+	setServingArrival(o.Arrival)
+	setBatching(o.Batching)
+}

@@ -4,10 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/arrival"
-	"repro/internal/core"
 	"repro/internal/result"
-	"repro/internal/serve"
-	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/telemetry"
 )
@@ -33,21 +30,27 @@ const servingPerThreadCapacity = 1.15
 // in five requests is a READ+FAA transaction.
 const servingTxnFrac = 0.2
 
+// defaultServingArrival returns the calibrated Poisson template the
+// serving sweep rescales per point when no override is installed.
+func defaultServingArrival() *arrival.Spec {
+	return &arrival.Spec{Kind: arrival.KindPoisson, Rate: 4}
+}
+
 // servingArrival is the arrival-process template the serving sweep
 // rescales per point (WithMeanRate); the CLI overrides it via
-// SetServingArrival (-arrival). Specs are immutable after parse and
+// SetOverrides (-arrival). Specs are immutable after parse and
 // New draws from each point's own rand stream, so concurrent points
 // may share one safely. The burst-comparison table always runs its
 // own poisson and mmpp specs regardless of the template.
 //
 //smartlint:ignore sharedstate — written only by CLI setup before any sweep runs
-var servingArrival = &arrival.Spec{Kind: arrival.KindPoisson, Rate: 4}
+var servingArrival = defaultServingArrival()
 
-// SetServingArrival installs the arrival template the serving
+// setServingArrival installs the arrival template the serving
 // experiment sweeps; nil restores the Poisson default.
-func SetServingArrival(s *arrival.Spec) {
+func setServingArrival(s *arrival.Spec) {
 	if s == nil {
-		s = &arrival.Spec{Kind: arrival.KindPoisson, Rate: 4}
+		s = defaultServingArrival()
 	}
 	servingArrival = s
 }
@@ -78,26 +81,6 @@ func servingGrid(quick bool) (topos []servingTopo, fracs []float64) {
 	return topos, fracs
 }
 
-// servingConfig builds one point's serve configuration: topology topo
-// offered spec's aggregate rate.
-func servingConfig(topo servingTopo, spec *arrival.Spec, quick bool, seed int64) serve.Config {
-	warmup, measure := 400*sim.Microsecond, 2*sim.Millisecond
-	if quick {
-		warmup, measure = 200*sim.Microsecond, sim.Millisecond
-	}
-	return serve.Config{
-		Runtimes:          topo.runtimes,
-		ThreadsPerRuntime: topo.threads,
-		MemoryBlades:      topo.runtimes,
-		Arrival:           spec,
-		TxnFrac:           servingTxnFrac,
-		Warmup:            warmup,
-		Measure:           measure,
-		Seed:              15 + seed,
-		Opts:              core.Baseline(core.PerThreadDoorbell),
-	}
-}
-
 func init() {
 	register(&Experiment{
 		ID:       "serving",
@@ -113,104 +96,12 @@ func init() {
 	})
 }
 
+// runServing runs the built-in serving section (servingSpec) with the
+// installed arrival template; the same section runner serves -spec
+// runs, so the golden serving spec reproduces this output
+// byte-identically.
 func runServing(sw *sweep.Sweeper, quick bool, seed int64, reg *telemetry.Registry) []result.Table {
-	template := servingArrival
-	topos, fracs := servingGrid(quick)
-
-	p99 := result.NewTable("serving-p99",
-		"Serving — op p99 latency vs offered load (fraction of nominal capacity)", "load")
-	p99.XUnit, p99.YUnit, p99.Prec = "x capacity", "us", 2
-	good := result.NewTable("serving-goodput",
-		"Serving — goodput (and offered load) vs load fraction", "load")
-	good.XUnit, good.YUnit, good.Prec = "x capacity", "ops/us", 2
-	shed := result.NewTable("serving-shed",
-		"Serving — shed fraction vs load fraction", "load")
-	shed.XUnit, shed.YUnit, shed.Prec = "x capacity", "frac", 4
-	lat := result.NewTable("serving-latency",
-		"Serving — latency breakdown on the 2x16 topology", "load")
-	lat.XUnit, lat.YUnit, lat.Prec = "x capacity", "us", 2
-
-	set := &sweep.Set{}
-	for _, topo := range topos {
-		topo := topo
-		cfgLabel := topo.label()
-		for _, frac := range fracs {
-			frac := frac
-			spec := template.WithMeanRate(frac * topo.nominal())
-			sweep.Add(set, fmt.Sprintf("serving/%s/load=%.2f", cfgLabel, frac), 15+seed,
-				servingConfig(topo, spec, quick, seed),
-				serve.Run,
-				func(r serve.Result) {
-					p99.Add(cfgLabel, frac, us(r.Op.P99))
-					good.Add(cfgLabel, frac, r.Goodput)
-					good.Add(cfgLabel+"-offered", frac, r.OfferedRate)
-					shed.Add(cfgLabel, frac, r.ShedFrac)
-					if cfgLabel == "2x16" {
-						lat.Add("op-p50", frac, us(r.Op.P50))
-						lat.Add("op-p99", frac, us(r.Op.P99))
-						lat.Add("op-p999", frac, us(r.Op.P999))
-						lat.Add("txn-p99", frac, us(r.Txn.P99))
-						lat.Add("wait-p99", frac, us(r.Wait.P99))
-						lat.Add("service-p99", frac, us(r.Service.P99))
-					}
-				})
-		}
-	}
-
-	// Burstiness panel: poisson vs mmpp at the same sub-knee mean rate
-	// on the smallest topology. The mmpp on-phases transiently exceed
-	// capacity, so the tail must suffer even though the mean load is
-	// comfortably below the knee.
-	burst := result.NewTable("serving-burst",
-		"Serving — arrival burstiness vs op p99 at matched mean rate (1x8)", "load")
-	burst.XUnit, burst.YUnit, burst.Prec = "x capacity", "us", 2
-	burstTopo := servingTopo{1, 8}
-	burstFracs := []float64{0.5}
-	if !quick {
-		burstFracs = []float64{0.33, 0.5, 0.66}
-	}
-	burstSpecs := []struct {
-		name string
-		spec *arrival.Spec
-	}{
-		{"poisson", &arrival.Spec{Kind: arrival.KindPoisson, Rate: 4}},
-		{"mmpp", &arrival.Spec{Kind: arrival.KindMMPP, High: 8, Low: 1,
-			On: 200 * sim.Microsecond, Off: 600 * sim.Microsecond}},
-	}
-	for _, bs := range burstSpecs {
-		bs := bs
-		for _, frac := range burstFracs {
-			frac := frac
-			spec := bs.spec.WithMeanRate(frac * burstTopo.nominal())
-			cfg := servingConfig(burstTopo, spec, quick, seed)
-			// One client machine, so the mmpp on-phases arrive fully
-			// correlated — independent per-client phases would smooth
-			// the aggregate back toward Poisson.
-			cfg.Clients = 1
-			sweep.Add(set, fmt.Sprintf("serving/burst/%s/load=%.2f", bs.name, frac), 15+seed,
-				cfg, serve.Run,
-				func(r serve.Result) { burst.Add(bs.name, frac, us(r.Op.P99)) })
-		}
-	}
-
-	// Instrumented variant: one overloaded 1x8 point carries the
-	// registry (admission counters, qdepth trajectory, runtime
-	// harvests). Enumerated last so the plain grid above is untouched;
-	// the point owns reg exclusively.
-	if reg != nil {
-		spec := template.WithMeanRate(2.5 * burstTopo.nominal())
-		cfg := servingConfig(burstTopo, spec, quick, seed)
-		cfg.Telemetry = reg
-		sweep.Add(set, "serving/telemetry/1x8/load=2.50", 15+seed,
-			cfg, serve.Run, func(serve.Result) {})
-	}
-
-	sw.Run(set)
-	tables := collect([]*result.Table{p99, good, shed, lat, burst})
-	if reg != nil {
-		tables = append(tables, reg.Tables("")...)
-	}
-	return tables
+	return mustTables(runServingSection(sw, servingSpec(quick).Serving, servingArrival, seed, reg))
 }
 
 // runServingTelemetry is the instrumented serving variant: the full

@@ -1,0 +1,522 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/arrival"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/result"
+	"repro/internal/rnic"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/sweep"
+	"repro/internal/telemetry"
+	"repro/internal/verbs"
+)
+
+// The scenario compilers: each lowers one validated spec.Spec section
+// onto the sweep point model. The registered experiments (fig3, fig13,
+// serving, batching) and `smartbench -spec` share these section
+// runners verbatim — an experiment's Run builds its section in code
+// (fig3Spec and friends, which also pin the golden spec files under
+// testdata/specs/), a -spec run parses the same section from JSON —
+// so a golden spec reproduces its figure byte-identically by
+// construction, at any worker count.
+
+func init() {
+	spec.RegisterScenario("micro", false, compileMicro)
+	spec.RegisterScenario("serving", true, compileServing)
+	spec.RegisterScenario("batching", false, compileBatching)
+}
+
+// mustTables unwraps a section runner's result for the registered
+// experiments, whose in-code sections are valid by construction.
+func mustTables(tables []result.Table, err error) []result.Table {
+	if err != nil {
+		panic(fmt.Sprintf("bench: in-code spec section failed to compile: %v", err))
+	}
+	return tables
+}
+
+// compileMicro lowers a micro spec: panel grids over the §3.1
+// micro-benchmark, with the spec's fault plan and batching template
+// applied to every point.
+func compileMicro(s *spec.Spec, env spec.Env) ([]result.Table, error) {
+	var inj rnic.Injector
+	if s.Faults != "" {
+		plan, err := fault.Parse(s.Faults)
+		if err != nil {
+			return nil, err
+		}
+		// Assigned only when non-nil: a typed nil in the interface
+		// would defeat RunMicro's Faults==nil fast path.
+		inj = plan
+	}
+	var knobs verbs.Batching
+	if s.Batching != "" {
+		b, err := verbs.ParseBatching(s.Batching)
+		if err != nil {
+			return nil, err
+		}
+		knobs = b
+	}
+	return runMicroPanels(env.Sweeper, s.Micro, inj, knobs, env.Seed)
+}
+
+// compileServing lowers a serving spec; the embedded arrival sub-spec
+// (or the calibrated Poisson default) is the template the sweep
+// rescales per point.
+func compileServing(s *spec.Spec, env spec.Env) ([]result.Table, error) {
+	template := defaultServingArrival()
+	if s.Arrival != "" {
+		t, err := arrival.Parse(s.Arrival)
+		if err != nil {
+			return nil, err
+		}
+		template = t
+	}
+	return runServingSection(env.Sweeper, s.Serving, template, env.Seed, env.Telemetry)
+}
+
+// compileBatching lowers a batching-ablation spec; the embedded
+// batching sub-spec is the knob template whose overrides apply to the
+// swept modes.
+func compileBatching(s *spec.Spec, env spec.Env) ([]result.Table, error) {
+	var knobs verbs.Batching
+	if s.Batching != "" {
+		b, err := verbs.ParseBatching(s.Batching)
+		if err != nil {
+			return nil, err
+		}
+		knobs = b
+	}
+	return runBatchingSection(env.Sweeper, s.Ablation, knobs, env.Seed), nil
+}
+
+// runMicroPanels runs one micro section: every panel enumerates its
+// profile × grid cross into one shared set (tables fill in merge
+// order), then a single Run executes all panels' points together.
+func runMicroPanels(sw *sweep.Sweeper, m *spec.Micro, faults rnic.Injector, knobs verbs.Batching, seed int64) ([]result.Table, error) {
+	set := &sweep.Set{}
+	var tabs []*result.Table
+	for i := range m.Panels {
+		p := &m.Panels[i]
+		t := result.NewTable(p.ID, p.Title, p.X)
+		t.YUnit, t.Prec = "MOPS", 1
+		tabs = append(tabs, t)
+		op := rnic.OpRead
+		if p.Op == "write" {
+			op = rnic.OpWrite
+		}
+		swept, xShort := p.Threads, "thr"
+		if p.X == "batch" {
+			swept, xShort = p.Batch, "batch"
+		}
+		for _, v := range swept {
+			threads, batch := v, p.Batch[0]
+			if p.X == "batch" {
+				threads, batch = p.Threads[0], v
+			}
+			for _, prof := range m.Profiles {
+				opts, err := prof.Options()
+				if err != nil {
+					return nil, err
+				}
+				if knobs.Enabled() {
+					opts.Batching = knobs.WithDefaults()
+				}
+				cfg := MicroConfig{
+					Opts: opts, Threads: threads, Batch: batch, Op: op,
+					Seed: p.Seed + seed,
+				}
+				if faults != nil {
+					cfg.Faults = faults
+				}
+				t, v, name := t, v, prof.Name
+				sweep.Add(set, fmt.Sprintf("%s/%s/%s=%d", p.ID, name, xShort, v), p.Seed+seed,
+					cfg, RunMicro,
+					func(r MicroResult) { t.Add(name, float64(v), r.MOPS) })
+			}
+		}
+	}
+	sw.Run(set)
+	return collect(tabs), nil
+}
+
+// servingSectionConfig builds one serving point's serve configuration
+// from its section: topology topo offered aspec's aggregate rate. The
+// M/M/c sanity test shares it, so the analytic knee check measures the
+// exact station the section sweeps.
+func servingSectionConfig(sv *spec.Serving, topo spec.Topo, aspec *arrival.Spec, seed int64) serve.Config {
+	return serve.Config{
+		Runtimes:          topo.Runtimes,
+		ThreadsPerRuntime: topo.Threads,
+		MemoryBlades:      topo.Runtimes,
+		Arrival:           aspec,
+		TxnFrac:           sv.TxnFrac,
+		Warmup:            sv.Warmup.Time(),
+		Measure:           sv.Measure.Time(),
+		Seed:              sv.Seed + seed,
+		Opts:              core.Baseline(core.PerThreadDoorbell),
+	}
+}
+
+// runServingSection runs one serving section: the topology ×
+// load-fraction grid, the optional burstiness panel, and — when reg is
+// non-nil — the section's instrumented overload point, whose registry
+// tables ride along after the result tables.
+func runServingSection(sw *sweep.Sweeper, sv *spec.Serving, template *arrival.Spec, seed int64, reg *telemetry.Registry) ([]result.Table, error) {
+	nominal := func(t spec.Topo) float64 {
+		return sv.CapacityPerThread * float64(t.Runtimes*t.Threads)
+	}
+	config := func(topo spec.Topo, aspec *arrival.Spec) serve.Config {
+		return servingSectionConfig(sv, topo, aspec, seed)
+	}
+	breakdown := sv.Breakdown.Label()
+
+	p99 := result.NewTable("serving-p99",
+		"Serving — op p99 latency vs offered load (fraction of nominal capacity)", "load")
+	p99.XUnit, p99.YUnit, p99.Prec = "x capacity", "us", 2
+	good := result.NewTable("serving-goodput",
+		"Serving — goodput (and offered load) vs load fraction", "load")
+	good.XUnit, good.YUnit, good.Prec = "x capacity", "ops/us", 2
+	shed := result.NewTable("serving-shed",
+		"Serving — shed fraction vs load fraction", "load")
+	shed.XUnit, shed.YUnit, shed.Prec = "x capacity", "frac", 4
+	lat := result.NewTable("serving-latency",
+		fmt.Sprintf("Serving — latency breakdown on the %s topology", breakdown), "load")
+	lat.XUnit, lat.YUnit, lat.Prec = "x capacity", "us", 2
+
+	set := &sweep.Set{}
+	for _, topo := range sv.Topologies {
+		cfgLabel := topo.Label()
+		for _, frac := range sv.LoadFracs {
+			frac := frac
+			aspec := template.WithMeanRate(frac * nominal(topo))
+			sweep.Add(set, fmt.Sprintf("serving/%s/load=%.2f", cfgLabel, frac), sv.Seed+seed,
+				config(topo, aspec),
+				serve.Run,
+				func(r serve.Result) {
+					p99.Add(cfgLabel, frac, us(r.Op.P99))
+					good.Add(cfgLabel, frac, r.Goodput)
+					good.Add(cfgLabel+"-offered", frac, r.OfferedRate)
+					shed.Add(cfgLabel, frac, r.ShedFrac)
+					if cfgLabel == breakdown {
+						lat.Add("op-p50", frac, us(r.Op.P50))
+						lat.Add("op-p99", frac, us(r.Op.P99))
+						lat.Add("op-p999", frac, us(r.Op.P999))
+						lat.Add("txn-p99", frac, us(r.Txn.P99))
+						lat.Add("wait-p99", frac, us(r.Wait.P99))
+						lat.Add("service-p99", frac, us(r.Service.P99))
+					}
+				})
+		}
+	}
+
+	// Burstiness panel: each named arrival process at matched mean rate
+	// on one topology. The bursty processes transiently exceed capacity,
+	// so the tail must suffer even though the mean load is below the
+	// knee.
+	tabs := []*result.Table{p99, good, shed, lat}
+	if b := sv.Burst; b != nil {
+		burst := result.NewTable("serving-burst",
+			fmt.Sprintf("Serving — arrival burstiness vs op p99 at matched mean rate (%s)", b.Topology.Label()), "load")
+		burst.XUnit, burst.YUnit, burst.Prec = "x capacity", "us", 2
+		tabs = append(tabs, burst)
+		for _, na := range b.Arrivals {
+			name := na.Name
+			bspec, err := arrival.Parse(na.Spec)
+			if err != nil {
+				return nil, err
+			}
+			for _, frac := range b.Fracs {
+				frac := frac
+				aspec := bspec.WithMeanRate(frac * nominal(b.Topology))
+				cfg := config(b.Topology, aspec)
+				// A small fixed client count (one in the built-in
+				// section) keeps bursty on-phases correlated —
+				// independent per-client phases would smooth the
+				// aggregate back toward Poisson.
+				cfg.Clients = b.Clients
+				sweep.Add(set, fmt.Sprintf("serving/burst/%s/load=%.2f", name, frac), sv.Seed+seed,
+					cfg, serve.Run,
+					func(r serve.Result) { burst.Add(name, frac, us(r.Op.P99)) })
+			}
+		}
+	}
+
+	// Instrumented variant: one overloaded point carries the registry
+	// (admission counters, qdepth trajectory, runtime harvests).
+	// Enumerated last so the plain grid above is untouched; the point
+	// owns reg exclusively.
+	if reg != nil && sv.Overload != nil {
+		o := sv.Overload
+		aspec := template.WithMeanRate(o.Frac * nominal(o.Topology))
+		cfg := config(o.Topology, aspec)
+		cfg.Telemetry = reg
+		sweep.Add(set, fmt.Sprintf("serving/telemetry/%s/load=%.2f", o.Topology.Label(), o.Frac), sv.Seed+seed,
+			cfg, serve.Run, func(serve.Result) {})
+	}
+
+	sw.Run(set)
+	tables := collect(tabs)
+	if reg != nil {
+		tables = append(tables, reg.Tables("")...)
+	}
+	return tables, nil
+}
+
+// runBatchingSection runs one batching-ablation section: the four
+// submission modes over the depth and thread grids plus the §4.2
+// C_max coupling panel, with the knob template's overrides applied to
+// the swept modes.
+func runBatchingSection(sw *sweep.Sweeper, ab *spec.Ablation, knobs verbs.Batching, seed int64) []result.Table {
+	depth := result.NewTable("batching-depth",
+		fmt.Sprintf("Batching — READ MOPS vs post batch (%d threads, per-thread QP)", ab.FixedThreads), "batch")
+	depth.YUnit, depth.Prec = "MOPS", 1
+	cont := result.NewTable("batching-contention",
+		fmt.Sprintf("Batching — contended doorbell acquisitions per posted WR vs batch (%d threads, per-thread QP)", ab.FixedThreads), "batch")
+	cont.Prec = 4
+	thr := result.NewTable("batching-threads",
+		fmt.Sprintf("Batching — READ MOPS vs threads (batch %d, per-thread QP)", ab.FixedBatch), "threads")
+	thr.YUnit, thr.Prec = "MOPS", 1
+	cmaxT := result.NewTable("batching-cmax",
+		fmt.Sprintf("Batching — adopted C_max under §4.2 throttling (%d threads, per-thread QP)", ab.FixedThreads), "mode")
+	cmaxT.Def("cmax-mean", "", 2)
+	cmaxT.Def("MOPS", "", 1)
+	for _, m := range batchingModes() {
+		depth.Def(m.name, "", 1)
+		cont.Def(m.name, "", 4)
+		thr.Def(m.name, "", 1)
+	}
+
+	set := &sweep.Set{}
+
+	// Depth sweep + contention fractions: every point harvests into its
+	// own probe registry (per-point isolation); the shared tables are
+	// written in the merges, on the caller's goroutine, in enumeration
+	// order.
+	for _, b := range ab.Batches {
+		for _, m := range batchingModes() {
+			b, m := b, m
+			probe := telemetry.New()
+			opts := core.Baseline(core.PerThreadQP)
+			opts.Batching = batchingFor(knobs, m.b, b)
+			sweep.Add(set, fmt.Sprintf("batching/depth/%s/b=%d", m.name, b), ab.DepthSeed+seed,
+				MicroConfig{
+					Opts: opts, Threads: ab.FixedThreads, Batch: b, Op: rnic.OpRead,
+					Seed: ab.DepthSeed + seed, Telemetry: probe,
+				},
+				RunMicro,
+				func(r MicroResult) {
+					depth.Add(m.name, float64(b), r.MOPS)
+					contended := probe.Value("db/contended-total")
+					wrs := probe.Value("core/wrs")
+					frac := 0.0
+					if wrs > 0 {
+						frac = float64(contended) / float64(wrs)
+					}
+					cont.Add(m.name, float64(b), frac)
+				})
+		}
+	}
+
+	// Thread sweep at a fixed post batch.
+	for _, n := range ab.Threads {
+		for _, m := range batchingModes() {
+			n, m := n, m
+			opts := core.Baseline(core.PerThreadQP)
+			opts.Batching = batchingFor(knobs, m.b, ab.FixedBatch)
+			sweep.Add(set, fmt.Sprintf("batching/threads/%s/thr=%d", m.name, n), ab.ThreadSeed+seed,
+				MicroConfig{
+					Opts: opts, Threads: n, Batch: ab.FixedBatch, Op: rnic.OpRead,
+					Seed: ab.ThreadSeed + seed,
+				},
+				RunMicro,
+				func(r MicroResult) { thr.Add(m.name, float64(n), r.MOPS) })
+		}
+	}
+
+	// Controller coupling: the §4.2 tuner sweeps its candidate list
+	// during warmup, adopts the best, and holds it through the
+	// measurement window; CMaxMean is the adopted grant averaged over
+	// threads. The coalesce threshold sits inside the candidate range —
+	// 8 in the built-in section — so flush-by-full is reachable exactly
+	// when the controller grants enough credits, which is the coupling
+	// the check pins.
+	for i, m := range batchingModes() {
+		i, m := i, m
+		opts := core.Baseline(core.PerThreadQP)
+		opts.WorkReqThrottle = true
+		opts.UpdateDelta = ab.CMaxUpdateDelta.Time()
+		opts.Batching = batchingFor(knobs, m.b, ab.CMaxCoalesceBatch)
+		sweep.Add(set, "batching/cmax/"+m.name, ab.CMaxSeed+seed,
+			MicroConfig{
+				Opts: opts, Threads: ab.FixedThreads, Batch: ab.FixedBatch, Op: rnic.OpRead,
+				Seed: ab.CMaxSeed + seed,
+			},
+			RunMicro,
+			func(r MicroResult) {
+				cmaxT.AddLabeled("cmax-mean", float64(i), m.name, r.CMaxMean)
+				cmaxT.AddLabeled("MOPS", float64(i), m.name, r.MOPS)
+			})
+	}
+
+	sw.Run(set)
+	return collect([]*result.Table{depth, cont, thr, cmaxT})
+}
+
+// The in-code spec builders. The registered experiments run exactly
+// these sections, and the quick-density encodings are pinned as the
+// golden spec files under testdata/specs (TestGoldenSpecsPinned) — so
+// the JSON on disk and the figure in the paper provably describe the
+// same sweep.
+
+func specName(base string, quick bool) string {
+	if quick {
+		return base + "-quick"
+	}
+	return base
+}
+
+// fig3Spec is the §3.1 QP-allocation comparison as a spec.
+func fig3Spec(quick bool) *spec.Spec {
+	return &spec.Spec{
+		Version:  spec.Version,
+		Name:     specName("fig3", quick),
+		Title:    "Fig. 3: throughput of 8-byte READ/WRITE under different QP allocation policies (depth 8)",
+		Scenario: "micro",
+		Micro: &spec.Micro{
+			Profiles: []spec.Profile{
+				{Name: "shared-qp", Policy: "shared-qp"},
+				{Name: "multiplexed-qp(q=4)", Policy: "multiplexed-qp"},
+				{Name: "per-thread-qp", Policy: "per-thread-qp"},
+				{Name: "per-thread-doorbell", Policy: "per-thread-doorbell"},
+			},
+			Panels: []spec.MicroPanel{
+				{
+					ID: "fig3-read", Title: "Fig. 3 — 8-byte READ, MOPS vs threads",
+					Op: "read", X: "threads",
+					Threads: threadGrid(quick), Batch: []int{8}, Seed: 11,
+				},
+				{
+					ID: "fig3-write", Title: "Fig. 3 — 8-byte WRITE, MOPS vs threads",
+					Op: "write", X: "threads",
+					Threads: threadGrid(quick), Batch: []int{8}, Seed: 11,
+				},
+			},
+		},
+		Checks: []string{"fig3"},
+	}
+}
+
+// fig13Spec is the SMART technique-stacking study as a spec.
+func fig13Spec(quick bool) *spec.Spec {
+	batches := []int{1, 2, 4, 8, 16, 32, 64}
+	if quick {
+		batches = []int{4, 16, 64}
+	}
+	return &spec.Spec{
+		Version:  spec.Version,
+		Name:     specName("fig13", quick),
+		Title:    "Fig. 13: SMART's allocation and throttling techniques in the micro-benchmark",
+		Scenario: "micro",
+		Micro: &spec.Micro{
+			Profiles: []spec.Profile{
+				{Name: "per-thread-qp", Policy: "per-thread-qp"},
+				{Name: "per-thread-context", Policy: "per-thread-context"},
+				{Name: "+ThdResAlloc", Policy: "per-thread-doorbell"},
+				{Name: "+WorkReqThrot", Policy: "per-thread-doorbell",
+					Throttle: true, UpdateDelta: spec.Duration(400 * sim.Microsecond)},
+			},
+			Panels: []spec.MicroPanel{
+				{
+					ID: "fig13a", Title: "Fig. 13a — 8-byte READ MOPS vs threads (batch 16)",
+					Op: "read", X: "threads",
+					Threads: threadGrid(quick), Batch: []int{16}, Seed: 13,
+				},
+				{
+					ID: "fig13b", Title: "Fig. 13b — 8-byte READ MOPS vs work request batch size (96 threads)",
+					Op: "read", X: "batch",
+					Threads: []int{96}, Batch: batches, Seed: 13,
+				},
+			},
+		},
+		Checks: []string{"fig13"},
+	}
+}
+
+// servingSpec is the open-loop capacity study as a spec.
+func servingSpec(quick bool) *spec.Spec {
+	topos, fracs := servingGrid(quick)
+	specTopos := make([]spec.Topo, len(topos))
+	for i, t := range topos {
+		specTopos[i] = spec.Topo{Runtimes: t.runtimes, Threads: t.threads}
+	}
+	warmup, measure := 400*sim.Microsecond, 2*sim.Millisecond
+	if quick {
+		warmup, measure = 200*sim.Microsecond, sim.Millisecond
+	}
+	burstFracs := []float64{0.33, 0.5, 0.66}
+	if quick {
+		burstFracs = []float64{0.5}
+	}
+	return &spec.Spec{
+		Version:  spec.Version,
+		Name:     specName("serving", quick),
+		Title:    "Open-loop serving capacity: SLO percentiles and goodput vs offered load x topology",
+		Scenario: "serving",
+		Serving: &spec.Serving{
+			CapacityPerThread: servingPerThreadCapacity,
+			TxnFrac:           servingTxnFrac,
+			Topologies:        specTopos,
+			LoadFracs:         fracs,
+			Warmup:            spec.Duration(warmup),
+			Measure:           spec.Duration(measure),
+			Seed:              15,
+			Breakdown:         spec.Topo{Runtimes: 2, Threads: 16},
+			Burst: &spec.Burst{
+				Topology: spec.Topo{Runtimes: 1, Threads: 8},
+				Fracs:    burstFracs,
+				Arrivals: []spec.NamedArrival{
+					{Name: "poisson", Spec: "poisson:rate=4"},
+					{Name: "mmpp", Spec: "mmpp:high=8,low=1,on=200us,off=600us"},
+				},
+				Clients: 1,
+			},
+			Overload: &spec.Overload{
+				Topology: spec.Topo{Runtimes: 1, Threads: 8},
+				Frac:     2.5,
+			},
+		},
+		Checks: []string{"serving"},
+	}
+}
+
+// batchingSpec is the WR-batching ablation as a spec.
+func batchingSpec(quick bool) *spec.Spec {
+	batches := []int{2, 4, 8, 16, 32}
+	if quick {
+		batches = []int{4, 16}
+	}
+	return &spec.Spec{
+		Version:  spec.Version,
+		Name:     specName("batching", quick),
+		Title:    "Ablation: WR postlist batching + doorbell coalescing (§3.1 model, DESIGN.md §16)",
+		Scenario: "batching",
+		Ablation: &spec.Ablation{
+			Batches:           batches,
+			Threads:           threadGrid(quick),
+			FixedThreads:      96,
+			FixedBatch:        16,
+			DepthSeed:         47,
+			ThreadSeed:        48,
+			CMaxSeed:          49,
+			CMaxCoalesceBatch: 8,
+			CMaxUpdateDelta:   spec.Duration(200 * sim.Microsecond),
+		},
+		Checks: []string{"batching"},
+	}
+}

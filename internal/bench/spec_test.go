@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/result"
+	"repro/internal/spec"
+	"repro/internal/sweep"
+)
+
+// goldenSpecs pairs each golden spec file with the in-code builder it
+// pins and the registered experiment it must reproduce.
+func goldenSpecs() []struct {
+	file  string // under testdata/specs
+	expID string
+	build func(quick bool) *spec.Spec
+} {
+	return []struct {
+		file  string
+		expID string
+		build func(quick bool) *spec.Spec
+	}{
+		{"fig3_quick.json", "fig3", fig3Spec},
+		{"fig13_quick.json", "fig13", fig13Spec},
+		{"serving_quick.json", "serving", servingSpec},
+		{"batching_quick.json", "batching", batchingSpec},
+	}
+}
+
+// TestGoldenSpecsPinned pins the checked-in golden spec files to the
+// canonical encoding of the in-code quick sections the registered
+// experiments run — so the JSON on disk provably describes the same
+// sweep as the figure. Regenerate with
+// `go test ./internal/bench -run GoldenSpecsPinned -update-golden`.
+func TestGoldenSpecsPinned(t *testing.T) {
+	for _, g := range goldenSpecs() {
+		g := g
+		t.Run(g.expID, func(t *testing.T) {
+			s := g.build(true)
+			want, err := s.Canonical()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "specs", g.file)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, want, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden spec (run with -update-golden to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("golden spec drifted from the in-code section:\n--- file\n%s\n--- in-code\n%s", got, want)
+			}
+
+			// The file must parse back to the exact in-code value — the
+			// round-trip that makes "spec file == experiment" a theorem
+			// rather than a convention.
+			parsed, err := spec.Parse(got)
+			if err != nil {
+				t.Fatalf("golden spec does not parse: %v", err)
+			}
+			if !reflect.DeepEqual(parsed, s) {
+				t.Errorf("parsed golden spec differs from the in-code section:\n%+v\nvs\n%+v", parsed, s)
+			}
+		})
+	}
+}
+
+// TestSpecProbeEnumeration compares enumerations without executing a
+// single point: each golden spec, lowered through a probing sweeper,
+// must enumerate exactly the labels and seeds of the registered
+// experiment it mirrors. This is the fast equivalence check; the
+// byte-identity of actual output is pinned by
+// TestGoldenSpecsMatchRunners.
+func TestSpecProbeEnumeration(t *testing.T) {
+	type point struct {
+		label string
+		seed  int64
+	}
+	enumerate := func(run func(sw *sweep.Sweeper)) []point {
+		var pts []point
+		probe := sweep.Probe(func(s *sweep.Set) {
+			for _, p := range s.Points() {
+				pts = append(pts, point{label: p.Label, seed: p.Seed})
+			}
+		})
+		run(probe)
+		return pts
+	}
+	for _, g := range goldenSpecs() {
+		g := g
+		t.Run(g.expID, func(t *testing.T) {
+			s, err := spec.Load(filepath.Join("testdata", "specs", g.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromSpec := enumerate(func(sw *sweep.Sweeper) {
+				if _, err := spec.Compile(s, spec.Env{Sweeper: sw}); err != nil {
+					t.Fatal(err)
+				}
+			})
+			fromExp := enumerate(func(sw *sweep.Sweeper) {
+				ByID(g.expID).Run(sw, true, 0)
+			})
+			if len(fromSpec) == 0 {
+				t.Fatal("spec enumerated no points")
+			}
+			if !reflect.DeepEqual(fromSpec, fromExp) {
+				t.Errorf("spec and experiment enumerate different points:\n--- spec\n%v\n--- experiment\n%v", fromSpec, fromExp)
+			}
+		})
+	}
+}
+
+// TestGoldenSpecsMatchRunners is the acceptance criterion made a test:
+// every golden spec file, compiled and run, renders byte-identically
+// to the registered experiment it mirrors at quick density.
+func TestGoldenSpecsMatchRunners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every quick sweep twice")
+	}
+	for _, g := range goldenSpecs() {
+		g := g
+		t.Run(g.expID, func(t *testing.T) {
+			s, err := spec.Load(filepath.Join("testdata", "specs", g.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tables, err := spec.Compile(s, spec.Env{Sweeper: sweep.Sequential()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := ByID(g.expID).RunSeq(true, 0)
+
+			var a, b bytes.Buffer
+			result.Text(&a, tables)
+			result.Text(&b, ref)
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Errorf("spec output differs from the %s runner:\n--- spec\n%s\n--- runner\n%s", g.expID, a.String(), b.String())
+			}
+		})
+	}
+}
+
+// TestSpecCompileDeterminism extends the sweep scheduler's merge-order
+// contract to spec lowering: the same spec, compiled twice and at
+// 1 vs 4 workers, renders byte-identical JSON documents.
+func TestSpecCompileDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real sweep three times")
+	}
+	s := fig3Spec(true)
+	render := func(workers int) []byte {
+		tables, err := spec.Compile(s, spec.Env{Sweeper: sweep.New(workers), Seed: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := &result.Document{
+			Generator:   "smartbench",
+			Quick:       true,
+			Experiments: []result.Experiment{{ID: s.Name, Title: s.Title, Tables: tables}},
+		}
+		var buf bytes.Buffer
+		if err := result.JSON(&buf, doc); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first := render(1)
+	again := render(1)
+	if !bytes.Equal(first, again) {
+		t.Error("compiling the same spec twice rendered different documents")
+	}
+	par := render(4)
+	if !bytes.Equal(first, par) {
+		t.Errorf("1-worker and 4-worker compilations rendered different documents:\n--- sequential\n%s\n--- parallel\n%s", first, par)
+	}
+}

@@ -1,0 +1,88 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/result"
+	"repro/internal/sweep"
+	"repro/internal/telemetry"
+)
+
+// Env is everything a scenario lowering needs from its caller: the
+// sweeper whose worker pool executes the points, the CLI's -seed
+// offset, and (for instrumented scenarios) the telemetry registry the
+// run's designated point carries.
+type Env struct {
+	Sweeper *sweep.Sweeper
+	Seed    int64
+
+	// Telemetry, when non-nil, asks the scenario for its instrumented
+	// variant; scenarios that have none (Instrumented reports which)
+	// must be compiled with it nil.
+	Telemetry *telemetry.Registry
+}
+
+// CompileFunc lowers one validated spec onto the sweep point model:
+// it enumerates the spec's grid into a sweep.Set, runs it on
+// env.Sweeper, and returns the merged tables. Lowering must follow
+// the runner contract — enumerate in order, merge in order, every
+// point isolated — so the output is byte-identical at any worker
+// count.
+type CompileFunc func(s *Spec, env Env) ([]result.Table, error)
+
+// scenarioEntry pairs a scenario's lowering with whether it offers an
+// instrumented (telemetry-carrying) variant.
+type scenarioEntry struct {
+	fn           CompileFunc
+	instrumented bool
+}
+
+// scenarios maps scenario names to their registered lowerings. The
+// implementations live next to the runners they share code with
+// (internal/bench registers micro/serving/batching at init); this
+// package defines only the schema and the dispatch, so the fuzz
+// target can hold Parse/Validate without linking the simulator.
+// Init-time registration only — never written after program start.
+var scenarios = map[string]scenarioEntry{}
+
+// RegisterScenario installs the lowering for one scenario name.
+// Called from init functions only; duplicate registration is a
+// programming error and panics.
+func RegisterScenario(name string, instrumented bool, fn CompileFunc) {
+	if _, dup := scenarios[name]; dup {
+		panic(fmt.Sprintf("spec: scenario %q registered twice", name))
+	}
+	scenarios[name] = scenarioEntry{fn: fn, instrumented: instrumented}
+}
+
+// Instrumented reports whether the named scenario offers an
+// instrumented (telemetry) variant.
+func Instrumented(name string) bool { return scenarios[name].instrumented }
+
+// Scenarios returns the registered scenario names, sorted.
+func Scenarios() []string {
+	names := make([]string, 0, len(scenarios))
+	//smartlint:ignore maporder — names are sorted on the next line
+	for name := range scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Compile validates the spec and dispatches it to its scenario's
+// registered lowering.
+func Compile(s *Spec, env Env) ([]result.Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	entry, ok := scenarios[s.Scenario]
+	if !ok {
+		return nil, fmt.Errorf("spec: scenario %q has no registered compiler (is the runner package linked in?)", s.Scenario)
+	}
+	if env.Telemetry != nil && !entry.instrumented {
+		return nil, fmt.Errorf("spec: scenario %q has no instrumented variant", s.Scenario)
+	}
+	return entry.fn(s, env)
+}

@@ -60,6 +60,11 @@ func (s *Set) Labels() []string {
 	return out
 }
 
+// Points returns the enumerated points in order. Probing tooling (the
+// spec dry-run path and the enumeration-equality tests) reads labels
+// and seeds through it; the closures stay unexported.
+func (s *Set) Points() []*Point { return s.points }
+
 // AddFunc enumerates one point from raw closures: exec runs on a
 // worker (concurrently with other points' execs), merge runs on the
 // Run caller's goroutine in enumeration order. merge may be nil.
